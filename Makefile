@@ -1,0 +1,43 @@
+# Convenience targets for the reproduction. Everything is plain `go`
+# underneath; the Makefile only names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test test-race vet bench reproduce examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# One benchmark iteration per experiment: regenerates every table/figure
+# metric quickly. Drop -benchtime for full statistical runs.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every table, figure, extension study and SUMMARY.txt.
+reproduce:
+	$(GO) run ./cmd/reproduce -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/capacityplanning
+	$(GO) run ./examples/latencysla
+	$(GO) run ./examples/customnode
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/diurnal
+
+fuzz:
+	$(GO) test ./internal/cli/ -fuzz FuzzParseMix -fuzztime 30s
+
+clean:
+	rm -rf results

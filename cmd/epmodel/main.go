@@ -1,0 +1,92 @@
+// Command epmodel evaluates the time-energy model for one configuration
+// and workload, printing the Table 2 breakdown.
+//
+// Usage:
+//
+//	epmodel -workload EP -mix 32xA9,12xK10 [-cores 0] [-freq 0]
+//	epmodel -list
+//
+// The -mix flag is a comma-separated list of COUNTxTYPE entries. -cores
+// and -freq (GHz) override active cores and core frequency for every
+// group; zero keeps the per-type maximum.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/model"
+)
+
+func main() {
+	wlName := flag.String("workload", "EP", "workload name")
+	mix := flag.String("mix", "32xA9,12xK10", "cluster mix, e.g. 32xA9,12xK10")
+	cores := flag.Int("cores", 0, "active cores per node (0 = all)")
+	freqGHz := flag.Float64("freq", 0, "core frequency in GHz (0 = max; snapped to the node's ladder)")
+	list := flag.Bool("list", false, "list available node types and workloads")
+	nodes := flag.String("nodes", "", "JSON file with extra node types")
+	wls := flag.String("workloads", "", "JSON file with extra workload profiles")
+	flag.Parse()
+
+	if err := run(*wlName, *mix, *cores, *freqGHz, *list, *nodes, *wls); err != nil {
+		fmt.Fprintln(os.Stderr, "epmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wlName, mix string, cores int, freqGHz float64, list bool, nodesPath, wlsPath string) error {
+	catalog, registry, err := cli.LoadEnvironment(nodesPath, wlsPath)
+	if err != nil {
+		return err
+	}
+	if list {
+		fmt.Println("node types:")
+		for _, n := range catalog.Names() {
+			nt, err := catalog.Lookup(n)
+			if err != nil {
+				return err
+			}
+			fmt.Println(" ", nt)
+		}
+		fmt.Println("workloads:")
+		for _, w := range registry.Names() {
+			p, err := registry.Lookup(w)
+			if err != nil {
+				return err
+			}
+			fmt.Println(" ", p)
+		}
+		return nil
+	}
+
+	cfg, err := cli.ParseMix(catalog, mix, cores, freqGHz)
+	if err != nil {
+		return err
+	}
+	wl, err := registry.Lookup(wlName)
+	if err != nil {
+		return err
+	}
+	res, err := model.Evaluate(cfg, wl, model.Options{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("configuration: %s\n", cfg)
+	fmt.Printf("workload:      %s (%g %s per job)\n", wl.Name, wl.JobUnits, wl.Unit)
+	fmt.Printf("time  T_P:     %v\n", res.Time)
+	fmt.Printf("energy E_P:    %v\n", res.Energy)
+	fmt.Printf("idle power:    %v\n", res.IdlePower)
+	fmt.Printf("busy power:    %v (peak for this workload)\n", res.BusyPower)
+	fmt.Printf("throughput:    %v %s/s\n", float64(res.Throughput), wl.Unit)
+	fmt.Printf("PPR:           %.6g (%s/s)/W\n", res.PPR(), wl.Unit)
+	fmt.Println("\nper node type:")
+	for _, g := range res.Groups {
+		fmt.Printf("  %-28s units=%.4g/node  T_core=%v T_mem=%v T_IO=%v  busy=%v\n",
+			g.Group.Type.Name+fmt.Sprintf(" x%d (%dc@%v)", g.Group.Count, g.Group.Cores, g.Group.Freq),
+			g.UnitsPerNode, g.TCore, g.TMem, g.TIO, g.BusyPower)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command epsim runs the discrete-event cluster simulator for one
+// configuration and workload, optionally comparing against the
+// analytical model (a single Table 4 validation row), and can dump the
+// characterization pipeline's fitted parameters.
+//
+// Usage:
+//
+//	epsim -workload EP -mix 8xA9,4xK10 [-seed 1] [-validate] [-characterize A9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/characterize"
+	"repro/internal/cli"
+	"repro/internal/powermeter"
+	"repro/internal/simulator"
+)
+
+func main() {
+	wlName := flag.String("workload", "EP", "workload name")
+	mix := flag.String("mix", "8xA9,4xK10", "cluster mix")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	validate := flag.Bool("validate", false, "compare against the analytical model")
+	charNode := flag.String("characterize", "", "run the power/workload characterization for this node type and exit")
+	nodes := flag.String("nodes", "", "JSON file with extra node types")
+	wls := flag.String("workloads", "", "JSON file with extra workload profiles")
+	flag.Parse()
+
+	if err := run(*wlName, *mix, *seed, *validate, *charNode, *nodes, *wls); err != nil {
+		fmt.Fprintln(os.Stderr, "epsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wlName, mix string, seed uint64, validate bool, charNode, nodesPath, wlsPath string) error {
+	catalog, registry, err := cli.LoadEnvironment(nodesPath, wlsPath)
+	if err != nil {
+		return err
+	}
+	eff := simulator.DefaultEffects()
+	meter := powermeter.DefaultMeter()
+
+	if charNode != "" {
+		node, err := catalog.Lookup(charNode)
+		if err != nil {
+			return err
+		}
+		opt := characterize.DefaultOptions()
+		opt.Seed = seed
+		pw, err := characterize.PowerParams(node, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("power characterization of %s (one device, fleet seed %d):\n", node.Name, eff.DeviceSeed)
+		fmt.Printf("  idle        %v (nominal %v)\n", pw.Params.Idle, node.Power.Idle)
+		fmt.Printf("  act/core    %v (nominal %v)\n", pw.Params.CPUActPerCore, node.Power.CPUActPerCore)
+		fmt.Printf("  stall/core  %v (nominal %v)\n", pw.Params.CPUStallPerCore, node.Power.CPUStallPerCore)
+		fmt.Printf("  mem (spec)  %v\n", pw.Params.Mem)
+		fmt.Printf("  net         %v (nominal %v)\n", pw.Params.Net, node.Power.Net)
+		wl, err := registry.Lookup(wlName)
+		if err != nil {
+			return err
+		}
+		dm, err := characterize.Demands(node, wl, pw.Params, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workload characterization of %s on %s:\n", wl.Name, node.Name)
+		fmt.Printf("  core cycles/unit %.4g   mem cycles/unit %.4g   IO bytes/unit %.4g   intensity %.3f\n",
+			float64(dm.Demand.CoreCycles), float64(dm.Demand.MemCycles), float64(dm.Demand.IOBytes), dm.Demand.Intensity)
+		return nil
+	}
+
+	cfg, err := cli.ParseMix(catalog, mix, 0, 0)
+	if err != nil {
+		return err
+	}
+	wl, err := registry.Lookup(wlName)
+	if err != nil {
+		return err
+	}
+
+	if validate {
+		row, err := simulator.Validate(cfg, wl, eff, meter, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("validation of %s on %s:\n", wl.Name, cfg)
+		fmt.Printf("  time:   model %v   simulated %v   error %.1f%%\n", row.ModelTime, row.SimTime, row.TimeErrPct)
+		fmt.Printf("  energy: model %v   measured  %v   error %.1f%%\n", row.ModelEnergy, row.SimEnergy, row.EnergyErrPct)
+		return nil
+	}
+
+	res, err := simulator.Run(cfg, wl, eff, meter, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated %s on %s (seed %d):\n", wl.Name, cfg, seed)
+	fmt.Printf("  makespan        %v\n", res.Time)
+	fmt.Printf("  true energy     %v\n", res.TrueEnergy)
+	fmt.Printf("  metered energy  %v (%d samples, mean %v)\n",
+		res.Measured.Energy, res.Measured.Samples, res.Measured.MeanPower)
+	fmt.Printf("  events executed %d across %d nodes\n", res.Events, len(res.Nodes))
+	for _, nt := range cfg.Groups {
+		c := res.Counters(nt.Type.Name)
+		fmt.Printf("  perf[%s]: %s\n", nt.Type.Name, c)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Command eptrace plays a synthetic datacenter load trace against a set
+// of cluster configurations, comparing a static deployment with dynamic
+// configuration switching (see internal/loadtrace and the paper's
+// Section I note that dynamic adaptation complements its static
+// analysis).
+//
+// Usage:
+//
+//	eptrace -workload EP -mixes "32xA9,12xK10;25xA9,8xK10;25xA9,5xK10"
+//	        -shape diurnal -mean 0.3 -amplitude 0.25 [-slo 200ms]
+//	        [-duration 24h] [-step 15m] [-hysteresis 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/cli"
+	"repro/internal/energyprop"
+	"repro/internal/loadtrace"
+	"repro/internal/model"
+)
+
+func main() {
+	wlName := flag.String("workload", "EP", "workload name")
+	mixes := flag.String("mixes", "32xA9,12xK10;25xA9,8xK10;25xA9,5xK10", "semicolon-separated candidate mixes; the fastest is the static reference")
+	shapeName := flag.String("shape", "diurnal", "load shape: diurnal, flashcrowd or steps")
+	mean := flag.Float64("mean", 0.3, "diurnal mean load fraction")
+	amplitude := flag.Float64("amplitude", 0.25, "diurnal amplitude")
+	base := flag.Float64("base", 0.2, "flashcrowd base load")
+	peak := flag.Float64("peak", 0.9, "flashcrowd peak load")
+	levels := flag.String("levels", "0.15,0.55,0.85,0.45", "steps: comma-separated load levels")
+	duration := flag.Duration("duration", 24*time.Hour, "trace duration")
+	step := flag.Duration("step", 15*time.Minute, "reconfiguration epoch")
+	slo := flag.Duration("slo", 0, "p95 response SLO (0 disables)")
+	hysteresis := flag.Float64("hysteresis", 0.05, "switching hysteresis margin")
+	showPlan := flag.Bool("plan", false, "print the per-load configuration plan table")
+	nodes := flag.String("nodes", "", "JSON file with extra node types")
+	wls := flag.String("workloads", "", "JSON file with extra workload profiles")
+	flag.Parse()
+
+	if err := run(*wlName, *mixes, *shapeName, *mean, *amplitude, *base, *peak, *levels,
+		*duration, *step, *slo, *hysteresis, *showPlan, *nodes, *wls); err != nil {
+		fmt.Fprintln(os.Stderr, "eptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wlName, mixes, shapeName string, mean, amplitude, base, peak float64, levels string,
+	duration, step, slo time.Duration, hysteresis float64, showPlan bool, nodesPath, wlsPath string) error {
+	catalog, registry, err := cli.LoadEnvironment(nodesPath, wlsPath)
+	if err != nil {
+		return err
+	}
+	wl, err := registry.Lookup(wlName)
+	if err != nil {
+		return err
+	}
+
+	var cands []*energyprop.Analysis
+	for _, spec := range strings.Split(mixes, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		cfg, err := cli.ParseMix(catalog, spec, 0, 0)
+		if err != nil {
+			return err
+		}
+		a, err := energyprop.Analyze(cfg, wl, model.Options{}, 100)
+		if err != nil {
+			return err
+		}
+		cands = append(cands, a)
+	}
+	if len(cands) < 2 {
+		return fmt.Errorf("need at least two candidate mixes, got %d", len(cands))
+	}
+
+	var shape loadtrace.Shape
+	switch shapeName {
+	case "diurnal":
+		shape = loadtrace.Diurnal{Mean: mean, Amplitude: amplitude, Period: 86400, PeakAt: 14 * 3600}
+	case "flashcrowd":
+		shape = loadtrace.FlashCrowd{Base: base, Peak: peak, Start: 9 * 3600, HalfLife: 2 * 3600}
+	case "steps":
+		var lv []float64
+		for _, s := range strings.Split(levels, ",") {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &v); err != nil {
+				return fmt.Errorf("bad level %q: %w", s, err)
+			}
+			lv = append(lv, v)
+		}
+		shape = loadtrace.Steps{Levels: lv, Dwell: duration.Seconds() / float64(len(lv))}
+	default:
+		return fmt.Errorf("unknown shape %q", shapeName)
+	}
+
+	static, adapted, err := loadtrace.Evaluate(cands, shape, loadtrace.TraceOptions{
+		Duration: duration.Seconds(),
+		Step:     step.Seconds(),
+		Policy: adaptive.Policy{
+			SLO:        slo.Seconds(),
+			Hysteresis: hysteresis,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload %s, shape %s, %v trace with %v epochs\n\n", wl.Name, shape.Name(), duration, step)
+	for _, r := range []loadtrace.Result{static, adapted} {
+		fmt.Printf("%-40s %10.2f kWh  mean %7.1f W", r.Strategy, r.Energy/3.6e6, r.MeanPower)
+		if r.Switches > 0 || strings.HasPrefix(r.Strategy, "adaptive") {
+			fmt.Printf("  switches=%d violations=%d", r.Switches, r.SLOViolations)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nenergy saving from adaptation: %.1f%% (mean load %.1f%%)\n",
+		100*loadtrace.Saving(static, adapted), 100*static.MeanLoad)
+
+	if showPlan {
+		grid := make([]float64, 0, 19)
+		for u := 0.05; u <= 0.95; u += 0.05 {
+			grid = append(grid, u)
+		}
+		plan, err := adaptive.Plan(cands, adaptive.Policy{SLO: slo.Seconds(), Hysteresis: hysteresis}, grid)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := plan.RenderTable(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

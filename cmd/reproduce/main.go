@@ -1,0 +1,341 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation into an output directory: Tables 4, 6, 7 and 8 as aligned
+// text tables, Figures 2 and 5-12 as gnuplot-style .dat series plus CSV,
+// and a summary of the Pareto-frontier / sub-linearity findings.
+//
+// Usage:
+//
+//	reproduce [-out results] [-seed 1] [-only t4,f9,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	seed := flag.Uint64("seed", 1, "seed for the simulated validation runs")
+	only := flag.String("only", "", "comma-separated experiment ids to run (t4,t6,t7,t8,f2,f5,f6,f7,f8,f9,f10,f11,f12,ext,summary); empty runs all")
+	flag.Parse()
+
+	if err := run(*out, *seed, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, seed uint64, only string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	selected := map[string]bool{}
+	for _, id := range strings.Split(only, ",") {
+		id = strings.TrimSpace(strings.ToLower(id))
+		if id != "" {
+			selected[id] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, id := range []string{"t4", "t6", "t7", "t8", "f2", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "ext", "summary"} {
+		known[id] = true
+	}
+	for id := range selected {
+		if !known[id] {
+			return fmt.Errorf("unknown experiment id %q (known: t4,t6,t7,t8,f2,f5-f12,ext,summary)", id)
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	s, err := analysis.NewSuite()
+	if err != nil {
+		return err
+	}
+
+	writeTable := func(name string, render func(*os.File) error) error {
+		path := filepath.Join(outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := render(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	writeSeries := func(base, xLabel string, series []report.Series) error {
+		datPath := filepath.Join(outDir, base+".dat")
+		f, err := os.Create(datPath)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteDAT(f, series); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		csvPath := filepath.Join(outDir, base+".csv")
+		g, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		if err := report.WriteCSV(g, xLabel, series); err != nil {
+			return err
+		}
+		// An ASCII rendering so the figure can be eyeballed without
+		// gnuplot; series whose values cannot be plotted (e.g. all on
+		// one point) are skipped silently.
+		txtPath := filepath.Join(outDir, base+".txt")
+		h, err := os.Create(txtPath)
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		if err := report.RenderASCII(h, series, report.PlotOptions{
+			Width: 72, Height: 22, XLabel: xLabel,
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", datPath, ",", csvPath, "and", txtPath)
+		return nil
+	}
+
+	if want("t4") {
+		rows, err := s.Table4(seed)
+		if err != nil {
+			return err
+		}
+		if err := writeTable("table4_validation.txt", func(f *os.File) error {
+			return analysis.RenderTable4(f, rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("t6") {
+		rows, err := s.Table6()
+		if err != nil {
+			return err
+		}
+		if err := writeTable("table6_ppr.txt", func(f *os.File) error {
+			return analysis.RenderTable6(f, rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("t7") {
+		rows, err := s.Table7()
+		if err != nil {
+			return err
+		}
+		if err := writeTable("table7_singlenode.txt", func(f *os.File) error {
+			return analysis.RenderMetricsRows(f, "Table 7: single-node energy proportionality", rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("t8") {
+		rows, err := s.Table8()
+		if err != nil {
+			return err
+		}
+		if err := writeTable("table8_cluster.txt", func(f *os.File) error {
+			return analysis.RenderMetricsRows(f, "Table 8: cluster-wide energy proportionality (1 kW budget)", rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("f2") {
+		if err := writeSeries("fig2_metrics", "utilization_pct", analysis.Figure2()); err != nil {
+			return err
+		}
+	}
+
+	// The paper's Figures 5/6 show EP, x264 and blackscholes; the other
+	// three workloads are emitted as well for completeness.
+	fig56 := []struct {
+		id, wl, suffix string
+	}{
+		{"f5", workload.NameEP, "ep"},
+		{"f5", workload.NameX264, "x264"},
+		{"f5", workload.NameBlackscholes, "blackscholes"},
+		{"f5", workload.NameMemcached, "memcached"},
+		{"f5", workload.NameJulius, "julius"},
+		{"f5", workload.NameRSA, "rsa2048"},
+	}
+	for _, fc := range fig56 {
+		if !want(fc.id) {
+			continue
+		}
+		series, err := s.Figure5(fc.wl)
+		if err != nil {
+			return err
+		}
+		if err := writeSeries("fig5_"+fc.suffix, "utilization_pct", series); err != nil {
+			return err
+		}
+	}
+	for _, fc := range fig56 {
+		if !want("f6") {
+			continue
+		}
+		series, err := s.Figure6(fc.wl)
+		if err != nil {
+			return err
+		}
+		if err := writeSeries("fig6_"+fc.suffix, "utilization_pct", series); err != nil {
+			return err
+		}
+	}
+	if want("f7") {
+		series, err := s.Figure7(workload.NameEP)
+		if err != nil {
+			return err
+		}
+		if err := writeSeries("fig7_cluster_ep", "utilization_pct", series); err != nil {
+			return err
+		}
+	}
+	if want("f8") {
+		series, err := s.Figure8(workload.NameEP)
+		if err != nil {
+			return err
+		}
+		if err := writeSeries("fig8_cluster_ppr", "utilization_pct", series); err != nil {
+			return err
+		}
+	}
+	for _, fc := range []struct {
+		id, wl, base string
+	}{
+		{"f9", workload.NameEP, "fig9_pareto_ep"},
+		{"f10", workload.NameX264, "fig10_pareto_x264"},
+	} {
+		if !want(fc.id) {
+			continue
+		}
+		fig, err := s.FigurePareto(fc.wl, 6)
+		if err != nil {
+			return err
+		}
+		if err := writeSeries(fc.base, "utilization_pct", fig.Series); err != nil {
+			return err
+		}
+		summary := filepath.Join(outDir, fc.base+"_frontier.txt")
+		f, err := os.Create(summary)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "Workload: %s\nReference: %s\nSub-linear configurations: %d of %d plotted\n\nFrontier:\n",
+			fig.Workload, fig.Reference, fig.SublinearCount(), len(fig.Frontier))
+		for _, line := range analysis.FrontierSummary(fig.Frontier) {
+			fmt.Fprintln(f, " ", line)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", summary)
+	}
+	for _, fc := range []struct {
+		id, wl, base string
+	}{
+		{"f11", workload.NameEP, "fig11_resp_ep"},
+		{"f12", workload.NameX264, "fig12_resp_x264"},
+	} {
+		if !want(fc.id) {
+			continue
+		}
+		series, err := s.FigureResponse(fc.wl, 95)
+		if err != nil {
+			return err
+		}
+		if err := writeSeries(fc.base, "utilization_pct", series); err != nil {
+			return err
+		}
+	}
+
+	// Extension studies beyond the paper's figures.
+	if want("ext") {
+		if err := writeExtensions(s, outDir, writeSeries); err != nil {
+			return err
+		}
+	}
+
+	if want("summary") {
+		path := filepath.Join(outDir, "SUMMARY.txt")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteSummary(f, seed); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+// writeExtensions emits the sensitivity sweep and the adaptive-ensemble
+// study (see EXPERIMENTS.md, "Extensions").
+func writeExtensions(s *analysis.Suite, outDir string, writeSeries func(string, string, []report.Series) error) error {
+	ratios := make([]float64, 0, 16)
+	for r := 0.25; r <= 4.01; r *= 1.2 {
+		ratios = append(ratios, r)
+	}
+	rows, err := s.SensitivityPPRRatio(ratios)
+	if err != nil {
+		return err
+	}
+	xs := make([]float64, len(rows))
+	inflation := make([]float64, len(rows))
+	epuRatio := make([]float64, len(rows))
+	saving := make([]float64, len(rows))
+	for i, r := range rows {
+		xs[i] = r.Ratio
+		inflation[i] = r.TimeInflation
+		epuRatio[i] = r.EnergyPerUnitRatio
+		saving[i] = r.PowerSaving
+	}
+	if err := writeSeries("ext_sensitivity_ppr", "wimpy_to_brawny_ppr_ratio", []report.Series{
+		{Label: "time-inflation (25A9:5K10 / 32A9:12K10)", X: xs, Y: inflation},
+		{Label: "energy-per-unit ratio", X: xs, Y: epuRatio},
+		{Label: "power saving at 50% util", X: xs, Y: saving},
+	}); err != nil {
+		return err
+	}
+
+	full, err := s.FullSpaceFrontier(workload.NameEP, 32, 12)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "ext_fullspace_frontier.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "Full-space Pareto frontier for %s over %d configurations\n", full.Workload, full.SpaceSize)
+	fmt.Fprintf(f, "%d frontier points, %d with throttled cores/frequency\n\n", len(full.Frontier), full.ThrottledPoints)
+	for _, line := range analysis.FrontierSummary(full.Frontier) {
+		fmt.Fprintln(f, " ", line)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

@@ -1,0 +1,88 @@
+package repro_test
+
+// Godoc examples for the public facade. Each compiles into the package
+// documentation and runs under go test with its output verified.
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleEvaluate runs the time-energy model for the paper's reference
+// heterogeneous configuration.
+func ExampleEvaluate() {
+	catalog := repro.DefaultCatalog()
+	workloads, _ := repro.PaperWorkloads(catalog)
+	a9, _ := catalog.Lookup("A9")
+	k10, _ := catalog.Lookup("K10")
+	cfg, _ := repro.NewConfig(repro.FullNodes(a9, 32), repro.FullNodes(k10, 12))
+	ep, _ := workloads.Lookup("EP")
+
+	res, _ := repro.Evaluate(cfg, ep)
+	fmt.Printf("config: %s\n", cfg)
+	fmt.Printf("idle power: %.1f W\n", float64(res.IdlePower))
+	// Output:
+	// config: 32 A9: 12 K10
+	// idle power: 597.6 W
+}
+
+// ExampleProportionalityMetrics shows the Table 3 metrics for a single
+// brawny node running EP (Table 7's first K10 row).
+func ExampleProportionalityMetrics() {
+	catalog := repro.DefaultCatalog()
+	workloads, _ := repro.PaperWorkloads(catalog)
+	k10, _ := catalog.Lookup("K10")
+	cfg, _ := repro.NewConfig(repro.FullNodes(k10, 1))
+	ep, _ := workloads.Lookup("EP")
+
+	m, _ := repro.ProportionalityMetrics(cfg, ep)
+	fmt.Printf("DPR=%.2f IPR=%.2f EPM=%.2f\n", m.DPR, m.IPR, m.EPM)
+	// Output:
+	// DPR=34.57 IPR=0.65 EPM=0.35
+}
+
+// ExampleMD1_ResponsePercentile computes a tail latency from the exact
+// M/D/1 waiting-time distribution.
+func ExampleMD1_ResponsePercentile() {
+	q := repro.MD1{Lambda: 50, D: 0.01} // 50 jobs/s, 10 ms service: rho = 0.5
+	p95, _ := q.ResponsePercentile(95)
+	fmt.Printf("p95 = %.1f ms\n", 1000*p95)
+	// Output:
+	// p95 = 30.5 ms
+}
+
+// ExampleDefaultBudget derives the paper's 8:1 substitution ladder under
+// the 1 kW budget.
+func ExampleDefaultBudget() {
+	catalog := repro.DefaultCatalog()
+	budget, _ := repro.DefaultBudget(catalog)
+	ladder, _ := budget.Ladder()
+	for _, m := range ladder {
+		fmt.Printf("%d A9 : %d K10\n", m.Wimpy, m.Brawny)
+	}
+	// Output:
+	// 0 A9 : 16 K10
+	// 32 A9 : 12 K10
+	// 64 A9 : 8 K10
+	// 96 A9 : 4 K10
+	// 128 A9 : 0 K10
+}
+
+// ExampleNewWorkload defines a workload from raw service demands and
+// evaluates it — the path for programs outside the paper's six.
+func ExampleNewWorkload() {
+	catalog := repro.DefaultCatalog()
+	wl := repro.NewWorkload("sort", "records", 1e6)
+	_ = wl.SetDemand("K10", repro.Demand{
+		CoreCycles: 800, // cycles per record
+		MemCycles:  300,
+		Intensity:  0.6,
+	})
+	k10, _ := catalog.Lookup("K10")
+	cfg, _ := repro.NewConfig(repro.FullNodes(k10, 4))
+	res, _ := repro.Evaluate(cfg, wl)
+	fmt.Printf("throughput: %.0f records/s\n", float64(res.Throughput))
+	// Output:
+	// throughput: 28000000 records/s
+}

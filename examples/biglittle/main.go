@@ -1,0 +1,147 @@
+// big.LITTLE at chip scale: the paper scopes itself to *inter-node*
+// heterogeneity and cites ARM big.LITTLE power management as the
+// intra-chip counterpart (Muthukaruppan et al.). This example shows the
+// same model covers that case by construction: a big.LITTLE SoC is a
+// two-type "cluster" whose node types are core clusters — the big
+// cluster (A15-like cores, high power) and the LITTLE cluster
+// (A7-like cores, low power) sharing one package.
+//
+// The questions transfer verbatim: which cluster has the better PPR for
+// a workload, is the combined chip sub-linearly proportional against
+// the big cluster's peak, and what does the energy-deadline frontier of
+// core-cluster configurations look like?
+//
+// Run with: go run ./examples/biglittle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/energyprop"
+)
+
+func main() {
+	catalog := repro.DefaultCatalog()
+
+	// Core clusters modeled as "node types": one big (A15-like,
+	// out-of-order, power hungry) and one LITTLE (A7-like, in-order,
+	// frugal). Idle power here is each cluster's share of the SoC's
+	// static power.
+	big := &repro.NodeType{
+		Name: "big", Model: "A15-class core cluster", ISA: "ARMv7-A",
+		Cores: 4,
+		Freq: repro.DVFS{
+			Steps:           []repro.Hertz{0.6e9, 1.2e9, 1.6e9, 2.0e9},
+			DynamicExponent: 2.6,
+		},
+		MemBandwidth: 6.4e9,
+		NICBandwidth: 1e9 / 8, // the shared interconnect, ample here
+		Power: repro.PowerParams{
+			CPUActPerCore: 0.75, CPUStallPerCore: 0.30,
+			Mem: 0.25, Net: 0.05, Idle: 0.35,
+		},
+		NominalPeak: 3.6,
+	}
+	little := &repro.NodeType{
+		Name: "LITTLE", Model: "A7-class core cluster", ISA: "ARMv7-A",
+		Cores: 4,
+		Freq: repro.DVFS{
+			Steps:           []repro.Hertz{0.4e9, 0.8e9, 1.0e9, 1.2e9},
+			DynamicExponent: 2.2,
+		},
+		MemBandwidth: 3.2e9,
+		NICBandwidth: 1e9 / 8,
+		Power: repro.PowerParams{
+			CPUActPerCore: 0.09, CPUStallPerCore: 0.04,
+			Mem: 0.15, Net: 0.05, Idle: 0.10,
+		},
+		NominalPeak: 0.7,
+	}
+	for _, n := range []*repro.NodeType{big, little} {
+		if err := catalog.Register(n); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A mobile workload: UI-triggered media decode, in work units of
+	// frames. The big cores are ~3x faster per core; the LITTLE cores
+	// far cheaper per frame.
+	decode := repro.NewWorkload("media-decode", "frames", 600)
+	must(decode.SetDemand("big", repro.Demand{
+		CoreCycles: 5.2e6, MemCycles: 2.4e6, Intensity: 0.85,
+	}))
+	must(decode.SetDemand("LITTLE", repro.Demand{
+		CoreCycles: 9.5e6, MemCycles: 4.2e6, Intensity: 0.60,
+	}))
+
+	// Single-cluster comparison (Table 6/7 at chip scale).
+	fmt.Println("per-cluster comparison for media-decode:")
+	fmt.Printf("%-8s %10s %10s %10s %8s %10s\n", "cluster", "T_P", "idle", "busy", "IPR", "PPR")
+	for _, nt := range []*repro.NodeType{big, little} {
+		cfg, err := repro.NewConfig(repro.FullNodes(nt, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := repro.Analyze(cfg, decode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := a.Metrics()
+		fmt.Printf("%-8s %10v %10v %10v %8.3f %10.1f\n",
+			nt.Name, a.Result.Time, a.Result.IdlePower, a.Result.BusyPower, m.IPR, a.PPRAt(1))
+	}
+
+	// The combined chip: both clusters active (global task scheduling),
+	// work split by the same rate-matching as the paper's clusters.
+	chip, err := repro.NewConfig(repro.FullNodes(big, 1), repro.FullNodes(little, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	chipA, err := repro.Analyze(chip, decode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncombined chip (GTS): T=%v, busy %v, idle %v\n",
+		chipA.Result.Time, chipA.Result.BusyPower, chipA.Result.IdlePower)
+
+	// Is LITTLE-only sub-linear against the chip's peak? The same
+	// wall-scaling question as Figures 9/10, one package down.
+	ref := energyprop.Reference{PeakPower: float64(chipA.Result.BusyPower)}
+	littleCfg, err := repro.NewConfig(repro.FullNodes(little, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	littleA, err := repro.Analyze(littleCfg, decode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if u, ok := ref.SublinearCrossover(littleA.CurveRes); ok {
+		fmt.Printf("LITTLE-only operation is sub-linear against the chip peak above %.0f%% utilization\n", 100*u)
+	} else {
+		fmt.Println("LITTLE-only operation never crosses below the chip's ideal line")
+	}
+
+	// Energy-deadline frontier across core-cluster configurations
+	// (cores powered per cluster, DVFS free): the intra-chip sweet
+	// region.
+	limits := []repro.Limit{
+		{Type: big, MaxNodes: 1},
+		{Type: little, MaxNodes: 1},
+	}
+	frontier, err := repro.ParetoFrontier(limits, decode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nintra-chip energy-deadline frontier (%d operating points):\n", len(frontier))
+	for _, p := range frontier {
+		fmt.Printf("  %-34s T=%-10v E=%v\n", p.Config, p.Time, p.Energy)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Capacity planning: find the cheapest-energy heterogeneous
+// configuration that meets an execution-time deadline for a financial
+// analytics batch (blackscholes), the paper's "sweet region" use case.
+//
+// The program enumerates every mix of up to 32 A9 and 12 K10 nodes,
+// computes the energy-deadline Pareto frontier, applies the deadline,
+// and reports the winner alongside what a homogeneous deployment would
+// cost.
+//
+// Run with: go run ./examples/capacityplanning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	catalog := repro.DefaultCatalog()
+	workloads, err := repro.PaperWorkloads(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bs, err := workloads.Lookup("blackscholes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a9, err := catalog.Lookup("A9")
+	if err != nil {
+		log.Fatal(err)
+	}
+	k10, err := catalog.Lookup("K10")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Enumerate node-count mixes (cores and frequency pinned to max;
+	// pass FixCoresAndFreq=false to explore DVFS too).
+	limits := []repro.Limit{
+		{Type: a9, MaxNodes: 32, FixCoresAndFreq: true},
+		{Type: k10, MaxNodes: 12, FixCoresAndFreq: true},
+	}
+	frontier, err := repro.ParetoFrontier(limits, bs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pareto frontier has %d configurations:\n", len(frontier))
+	for _, p := range frontier {
+		fmt.Printf("  %-18s T=%-10v E=%v\n", p.Config, p.Time, p.Energy)
+	}
+
+	// A 5-second deadline for the 10M-option batch.
+	const deadline = repro.Seconds(5)
+	var best *repro.ParetoPoint
+	for i := range frontier {
+		p := &frontier[i]
+		if p.Time > deadline {
+			continue
+		}
+		if best == nil || p.Energy < best.Energy {
+			best = p
+		}
+	}
+	if best == nil {
+		log.Fatalf("no configuration meets the %v deadline", deadline)
+	}
+	fmt.Printf("\ncheapest configuration meeting a %v deadline: %s\n", deadline, best.Config)
+	fmt.Printf("  time %v, energy %v\n", best.Time, best.Energy)
+
+	// Compare against the homogeneous extremes.
+	allK10 := mustConfig(repro.FullNodes(k10, 12))
+	var allK10Energy repro.Joules
+	for _, alt := range []repro.Config{
+		mustConfig(repro.FullNodes(a9, 32)),
+		allK10,
+	} {
+		res, err := repro.Evaluate(alt, bs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if alt.Key() == allK10.Key() {
+			allK10Energy = res.Energy
+		}
+		verdict := "meets deadline"
+		if res.Time > deadline {
+			verdict = "MISSES deadline"
+		}
+		fmt.Printf("  homogeneous %-14s T=%-10v E=%-10v (%s)\n", alt, res.Time, res.Energy, verdict)
+	}
+
+	if allK10Energy > 0 {
+		fmt.Printf("\nenergy saved vs all-K10: %.1f%%\n",
+			100*(1-float64(best.Energy)/float64(allK10Energy)))
+	}
+}
+
+func mustConfig(groups ...repro.Group) repro.Config {
+	cfg, err := repro.NewConfig(groups...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cfg
+}

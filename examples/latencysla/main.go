@@ -1,0 +1,96 @@
+// Latency SLA planning: a memcached-style web tier must keep the
+// 95th-percentile response time under an SLO while spending as little
+// energy as possible. This walks the paper's 1 kW substitution ladder
+// (Section III-C) and, for each mix, finds the highest utilization the
+// SLO permits and the energy per served request there — the
+// time-energy-performance triangle of the paper's title.
+//
+// Run with: go run ./examples/latencysla
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	catalog := repro.DefaultCatalog()
+	workloads, err := repro.PaperWorkloads(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc, err := workloads.Lookup("memcached")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	budget, err := repro.DefaultBudget(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ladder, err := budget.Ladder()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// SLO: p95 response under 50 ms per batch.
+	const slo = 0.050
+	fmt.Printf("memcached under a 1 kW peak-power budget, p95 SLO = %.0f ms\n\n", slo*1000)
+	fmt.Printf("%-16s %10s %12s %12s %16s\n", "mix", "T_P", "max util", "power there", "J per Mbyte")
+
+	type candidate struct {
+		mix    repro.Mix
+		util   float64
+		power  float64
+		jPerMB float64
+	}
+	var best *candidate
+	for _, m := range ladder {
+		a, err := repro.Analyze(m.Config, mc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Find the highest utilization that still meets the SLO by
+		// bisection over the monotone p95(u).
+		lo, hi := 0.01, 0.99
+		meets := func(u float64) bool {
+			r, err := a.ResponsePercentileAt(u, 95)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return r <= slo
+		}
+		if !meets(lo) {
+			fmt.Printf("%-16s %10v %12s\n", m.Config, a.Result.Time, "SLO infeasible")
+			continue
+		}
+		for i := 0; i < 40 && hi-lo > 1e-4; i++ {
+			mid := (lo + hi) / 2
+			if meets(mid) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		util := lo
+		power := a.PowerAt(util)
+		// Served bytes per second at this utilization = util * busy
+		// throughput; energy per megabyte follows.
+		tput := util * float64(a.Result.Throughput)
+		jPerMB := power / tput * 1e6
+		fmt.Printf("%-16s %10v %11.1f%% %11.1f W %16.3f\n",
+			m.Config, a.Result.Time, 100*util, power, jPerMB)
+		c := candidate{mix: m, util: util, power: power, jPerMB: jPerMB}
+		if best == nil || c.jPerMB < best.jPerMB {
+			cc := c
+			best = &cc
+		}
+	}
+	if best == nil {
+		log.Fatal("no mix meets the SLO")
+	}
+	fmt.Printf("\nmost energy-efficient mix under the SLO: %s (%.3f J/MB at %.1f%% utilization)\n",
+		best.mix.Config, best.jPerMB, 100*best.util)
+}

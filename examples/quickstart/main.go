@@ -1,0 +1,70 @@
+// Quickstart: evaluate the time-energy model and the energy-
+// proportionality metrics for a heterogeneous cluster running one of the
+// paper's workloads.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The catalog ships the paper's node types: the wimpy ARM Cortex-A9
+	// (5 W peak) and the brawny AMD Opteron K10 (60 W peak).
+	catalog := repro.DefaultCatalog()
+	workloads, err := repro.PaperWorkloads(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	a9, err := catalog.Lookup("A9")
+	if err != nil {
+		log.Fatal(err)
+	}
+	k10, err := catalog.Lookup("K10")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A heterogeneous mix: 32 wimpy + 12 brawny nodes, all cores at
+	// maximum frequency (the reference configuration of Figures 9-12).
+	cfg, err := repro.NewConfig(repro.FullNodes(a9, 32), repro.FullNodes(k10, 12))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ep, err := workloads.Lookup("EP")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One job through the Table 2 time-energy model.
+	res, err := repro.Evaluate(cfg, ep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s:\n", ep.Name, cfg)
+	fmt.Printf("  execution time %v, energy %v\n", res.Time, res.Energy)
+	fmt.Printf("  idle %v -> busy %v, throughput %.4g %s/s\n",
+		res.IdlePower, res.BusyPower, float64(res.Throughput), ep.Unit)
+
+	// The energy-proportionality metrics over the M/D/1 utilization
+	// sweep (Table 3 of the paper).
+	a, err := repro.Analyze(cfg, ep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := a.Metrics()
+	fmt.Printf("  DPR=%.2f%%  IPR=%.3f  EPM=%.3f  LDR=%.3f\n", m.DPR, m.IPR, m.EPM, m.LDR)
+
+	// Tail latency at 70% cluster utilization from the M/D/1 queue.
+	p95, err := a.ResponsePercentileAt(0.70, 95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  p95 response time at 70%% utilization: %.4g s\n", p95)
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import "testing"
+
+// TestDegreeStudyGrowth: more node types expand the configuration
+// space, cannot shrink the frontier's reach on either axis, and expose
+// at least as many sub-linear configurations.
+func TestDegreeStudyGrowth(t *testing.T) {
+	s := suite(t)
+	rows, err := s.DegreeStudy(8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.Degree != i+1 {
+			t.Errorf("row %d degree = %d", i, r.Degree)
+		}
+		if r.FrontierSize < 1 {
+			t.Errorf("degree %d: empty frontier", r.Degree)
+		}
+	}
+	// Space size grows strictly with degree.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SpaceSize <= rows[i-1].SpaceSize {
+			t.Errorf("space did not grow: %d -> %d", rows[i-1].SpaceSize, rows[i].SpaceSize)
+		}
+	}
+	// Homogeneous A9 (degree 1): no sub-linear configurations are
+	// possible — every config shares the same linear normalized curve.
+	if rows[0].Sublinear != 0 {
+		// Smaller A9-only configs ARE sub-linear against the larger
+		// reference's peak (less absolute power), so this can be
+		// non-zero; what must hold is monotone growth with degree.
+		t.Logf("degree 1 sublinear = %d", rows[0].Sublinear)
+	}
+	if rows[2].Sublinear < rows[1].Sublinear {
+		t.Errorf("sub-linear count fell with degree: %d -> %d", rows[1].Sublinear, rows[2].Sublinear)
+	}
+	// A wider palette can only improve (or tie) the frontier's extremes
+	// at equal per-type node budget.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].FastestTime > rows[i-1].FastestTime*(1+1e-9) {
+			t.Errorf("degree %d fastest time regressed: %g vs %g",
+				rows[i].Degree, rows[i].FastestTime, rows[i-1].FastestTime)
+		}
+		if rows[i].BestEnergy > rows[i-1].BestEnergy*(1+1e-9) {
+			t.Errorf("degree %d best energy regressed: %g vs %g",
+				rows[i].Degree, rows[i].BestEnergy, rows[i-1].BestEnergy)
+		}
+	}
+}
+
+func TestDegreeStudyValidation(t *testing.T) {
+	s := suite(t)
+	if _, err := s.DegreeStudy(0, 1); err == nil {
+		t.Error("zero maxPerType accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/queueing"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+)
+
+// ResponseValidation compares the paper's M/D/1 response-time model —
+// which assumes a *deterministic* service time T_P — against a queueing
+// simulation whose service times come from the discrete-event cluster
+// simulator (with all its jitter sources active). It answers how much
+// the deterministic-service assumption distorts the percentile figures.
+type ResponseValidation struct {
+	Workload string
+	Mix      string
+	// Utilization of the comparison.
+	Utilization float64
+	// ModelP95 is the exact M/D/1 percentile with D = modeled T_P.
+	ModelP95 float64
+	// SimP95 is the Monte-Carlo percentile with empirical service times.
+	SimP95 float64
+	// ServiceCV is the coefficient of variation of the simulated
+	// service times (zero would be exactly deterministic).
+	ServiceCV float64
+	// ErrPct is the relative percentile error in percent.
+	ErrPct float64
+}
+
+// ValidateResponseModel runs the comparison for one workload and mix at
+// the given utilization. samples controls how many cluster simulations
+// build the empirical service-time distribution; jobs controls the
+// queueing simulation length.
+func (s *Suite) ValidateResponseModel(wl string, nA9, nK10 int, u float64, samples, jobs int, seed uint64) (*ResponseValidation, error) {
+	if u <= 0 || u >= 1 {
+		return nil, fmt.Errorf("analysis: utilization %g outside (0,1)", u)
+	}
+	if samples < 2 {
+		return nil, fmt.Errorf("analysis: need at least 2 service samples")
+	}
+	cfg, err := s.mix(nA9, nK10)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.profile(wl)
+	if err != nil {
+		return nil, err
+	}
+
+	// Modeled deterministic service and its exact M/D/1 percentile.
+	mres, err := model.Evaluate(cfg, p, s.Opt)
+	if err != nil {
+		return nil, err
+	}
+	q, err := queueing.NewMD1FromUtilization(u, float64(mres.Time))
+	if err != nil {
+		return nil, err
+	}
+	modelP95, err := q.ResponsePercentile(95)
+	if err != nil {
+		return nil, err
+	}
+
+	// Empirical service times from the cluster simulator.
+	services := make([]float64, samples)
+	var summary stats.Summary
+	for i := range services {
+		sres, err := simulator.Run(cfg, p, s.Effects, s.Meter, seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		services[i] = float64(sres.Time)
+		summary.Add(float64(sres.Time))
+	}
+	meanService := summary.Mean()
+	cv := 0.0
+	if meanService > 0 {
+		cv = summary.StdDev() / meanService
+	}
+
+	// G/G/1 simulation: Poisson arrivals tuned so the *simulated* mean
+	// service yields the target utilization; services resampled from
+	// the empirical distribution.
+	arrivalRate := u / meanService
+	idx := 0
+	sim, err := queueing.SimulateGG1(
+		func(r *stats.RNG) float64 { return r.ExpFloat64(arrivalRate) },
+		func(r *stats.RNG) float64 {
+			idx = r.Intn(len(services))
+			return services[idx]
+		},
+		queueing.SimOptions{Jobs: jobs, Warmup: jobs / 20, Seed: seed ^ 0xabcdef},
+	)
+	if err != nil {
+		return nil, err
+	}
+	simP95, err := sim.Percentile(95)
+	if err != nil {
+		return nil, err
+	}
+
+	return &ResponseValidation{
+		Workload:    wl,
+		Mix:         cfg.String(),
+		Utilization: u,
+		ModelP95:    modelP95,
+		SimP95:      simP95,
+		ServiceCV:   cv,
+		ErrPct:      100 * stats.RelErr(modelP95, simP95),
+	}, nil
+}

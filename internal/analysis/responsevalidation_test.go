@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestResponseModelHoldsUnderJitter: the M/D/1 percentile must stay
+// within a modest band of the jittered-service simulation — the
+// deterministic-service assumption is an approximation, not a fiction.
+func TestResponseModelHoldsUnderJitter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("queueing simulation skipped in -short")
+	}
+	s := suite(t)
+	for _, wl := range []string{workload.NameEP, workload.NameJulius} {
+		rv, err := s.ValidateResponseModel(wl, 8, 4, 0.6, 64, 200000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rv.ServiceCV <= 0 {
+			t.Errorf("%s: service CV %g; the simulator should jitter", wl, rv.ServiceCV)
+		}
+		if rv.ServiceCV > 0.2 {
+			t.Errorf("%s: service CV %g implausibly large", wl, rv.ServiceCV)
+		}
+		// The simulator's mean service exceeds the model's T_P (the
+		// effects only slow execution), so the simulated percentile sits
+		// above the model one; the paper's validation errors bound how
+		// far. Allow 25%.
+		if rv.ErrPct > 25 {
+			t.Errorf("%s: p95 model error %.1f%% (model %.4g vs sim %.4g)",
+				wl, rv.ErrPct, rv.ModelP95, rv.SimP95)
+		}
+		if rv.SimP95 < rv.ModelP95*0.8 {
+			t.Errorf("%s: simulated p95 %.4g far below model %.4g", wl, rv.SimP95, rv.ModelP95)
+		}
+	}
+}
+
+func TestResponseModelValidation(t *testing.T) {
+	s := suite(t)
+	if _, err := s.ValidateResponseModel(workload.NameEP, 4, 2, 0, 4, 100, 1); err == nil {
+		t.Error("zero utilization accepted")
+	}
+	if _, err := s.ValidateResponseModel(workload.NameEP, 4, 2, 1, 4, 100, 1); err == nil {
+		t.Error("utilization 1 accepted")
+	}
+	if _, err := s.ValidateResponseModel(workload.NameEP, 4, 2, 0.5, 1, 100, 1); err == nil {
+		t.Error("single service sample accepted")
+	}
+	if _, err := s.ValidateResponseModel("nope", 4, 2, 0.5, 4, 100, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

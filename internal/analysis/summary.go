@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/workload"
+)
+
+// WriteSummary renders a single human-readable report covering every
+// reproduced artifact: the four tables, the headline findings of each
+// figure, and the extension studies. cmd/reproduce writes it as
+// SUMMARY.txt next to the per-artifact files.
+func (s *Suite) WriteSummary(w io.Writer, seed uint64) error {
+	head := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format+"\n", args...)
+		return err
+	}
+	if err := head("REPRODUCTION SUMMARY — On Energy Proportionality and Time-Energy"); err != nil {
+		return err
+	}
+	if err := head("Performance of Heterogeneous Clusters (CLUSTER 2016)\n"); err != nil {
+		return err
+	}
+
+	// Table 4.
+	rows, err := s.Table4(seed)
+	if err != nil {
+		return err
+	}
+	if err := RenderTable4(w, rows); err != nil {
+		return err
+	}
+	if err := head(""); err != nil {
+		return err
+	}
+
+	// Table 6.
+	t6, err := s.Table6()
+	if err != nil {
+		return err
+	}
+	if err := RenderTable6(w, t6); err != nil {
+		return err
+	}
+	if err := head(""); err != nil {
+		return err
+	}
+
+	// Tables 7 and 8.
+	t7, err := s.Table7()
+	if err != nil {
+		return err
+	}
+	if err := RenderMetricsRows(w, "Table 7: single-node energy proportionality", t7); err != nil {
+		return err
+	}
+	if err := head(""); err != nil {
+		return err
+	}
+	t8, err := s.Table8()
+	if err != nil {
+		return err
+	}
+	if err := RenderMetricsRows(w, "Table 8: cluster-wide energy proportionality (1 kW budget)", t8); err != nil {
+		return err
+	}
+	if err := head(""); err != nil {
+		return err
+	}
+
+	// Figure findings.
+	if err := head("Figure findings"); err != nil {
+		return err
+	}
+	if err := head("---------------"); err != nil {
+		return err
+	}
+	for _, wl := range []string{workload.NameEP, workload.NameX264} {
+		fig, err := s.FigurePareto(wl, 6)
+		if err != nil {
+			return err
+		}
+		if err := head("Fig %s (%s): %d of %d plotted Pareto configurations are sub-linear vs %s",
+			map[string]string{workload.NameEP: "9", workload.NameX264: "10"}[wl],
+			wl, fig.SublinearCount(), len(fig.Frontier), fig.Reference); err != nil {
+			return err
+		}
+	}
+	for _, fc := range []struct {
+		fig, wl, unit string
+		scale         float64
+	}{
+		{"11", workload.NameEP, "ms", 1000},
+		{"12", workload.NameX264, "s", 1},
+	} {
+		series, err := s.FigureResponse(fc.wl, 95)
+		if err != nil {
+			return err
+		}
+		spread, err := ResponseSpread(series)
+		if err != nil {
+			return err
+		}
+		mid := len(spread) / 2
+		if err := head("Fig %s (%s): p95 response spread across sub-linear mixes at ~60%% utilization: %.3g %s",
+			fc.fig, fc.wl, spread[mid]*fc.scale, fc.unit); err != nil {
+			return err
+		}
+	}
+	n, err := s.ConfigSpaceSize()
+	if err != nil {
+		return err
+	}
+	if err := head("Footnote 4: configuration space of 10 ARM + 10 AMD nodes = %d", n); err != nil {
+		return err
+	}
+	if err := head(""); err != nil {
+		return err
+	}
+
+	// Extension headline.
+	if err := head("Extensions"); err != nil {
+		return err
+	}
+	if err := head("----------"); err != nil {
+		return err
+	}
+	rows2, err := s.SensitivityPPRRatio([]float64{0.5, 1, 2})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows2 {
+		if err := head("PPR ratio %.1f: sub-linear mix costs %.2fx time, saves %.0f%% power, energy/unit ratio %.2f",
+			r.Ratio, r.TimeInflation, 100*r.PowerSaving, r.EnergyPerUnitRatio); err != nil {
+			return err
+		}
+	}
+	degrees, err := s.DegreeStudy(8, 42)
+	if err != nil {
+		return err
+	}
+	for _, d := range degrees {
+		if err := head("degree d=%d (%v): %d configs, %d on the frontier, %d sub-linear",
+			d.Degree, d.Types, d.SpaceSize, d.FrontierSize, d.Sublinear); err != nil {
+			return err
+		}
+	}
+	stats4, err := s.Table4Statistics(4, seed)
+	if err != nil {
+		return err
+	}
+	if err := head(""); err != nil {
+		return err
+	}
+	if err := head("Validation stability across 4 seeds (time error mean±sd %%):"); err != nil {
+		return err
+	}
+	for _, r := range stats4 {
+		if err := head("  %-14s %5.1f ± %.1f", r.Workload, r.TimeErrMean, r.TimeErrSD); err != nil {
+			return err
+		}
+	}
+	return nil
+}

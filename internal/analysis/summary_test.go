@@ -1,0 +1,29 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteSummaryComplete(t *testing.T) {
+	s := suite(t)
+	var b strings.Builder
+	if err := s.WriteSummary(&b, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"Table 4", "Table 6", "Table 7", "Table 8",
+		"Fig 9", "Fig 10", "Fig 11", "Fig 12",
+		"36380",
+		"PPR ratio",
+		"memcached", "RSA-2048",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("summary missing %q", frag)
+		}
+	}
+	if len(out) < 2000 {
+		t.Errorf("summary suspiciously short: %d bytes", len(out))
+	}
+}

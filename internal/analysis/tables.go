@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/energyprop"
+	"repro/internal/report"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Table4 runs the model-versus-simulator validation for every paper
+// workload on the validation cluster (8 A9 + 4 K10, all cores at fmax),
+// reproducing Table 4's error columns.
+func (s *Suite) Table4(seed uint64) ([]simulator.ValidationRow, error) {
+	cfg, err := s.mix(8, 4)
+	if err != nil {
+		return nil, err
+	}
+	var rows []simulator.ValidationRow
+	for _, name := range workload.PaperNames() {
+		p, err := s.profile(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := simulator.Validate(cfg, p, s.Effects, s.Meter, seed)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: table 4 %s: %w", name, err)
+		}
+		rows = append(rows, row)
+		seed++
+	}
+	return rows, nil
+}
+
+// RenderTable4 writes the validation rows against the paper's values.
+func RenderTable4(w io.Writer, rows []simulator.ValidationRow) error {
+	paperTime := map[string]float64{
+		workload.NameEP: 3, workload.NameMemcached: 10, workload.NameX264: 11,
+		workload.NameBlackscholes: 4, workload.NameJulius: 13, workload.NameRSA: 2,
+	}
+	paperEnergy := map[string]float64{
+		workload.NameEP: 10, workload.NameMemcached: 8, workload.NameX264: 10,
+		workload.NameBlackscholes: 7, workload.NameJulius: 1, workload.NameRSA: 8,
+	}
+	t := report.NewTable("Table 4: cluster validation (model vs simulated measurement)",
+		"Program", "Time err[%]", "Paper time err[%]", "Energy err[%]", "Paper energy err[%]")
+	for _, r := range rows {
+		t.MustAddRow(r.Workload,
+			fmt.Sprintf("%.1f", r.TimeErrPct), fmt.Sprintf("%.0f", paperTime[r.Workload]),
+			fmt.Sprintf("%.1f", r.EnergyErrPct), fmt.Sprintf("%.0f", paperEnergy[r.Workload]))
+	}
+	return t.Render(w)
+}
+
+// Table4Stats is the multi-seed view of the validation study: the
+// paper reports one number per workload, but a single simulated run is
+// one draw from the noise distribution. Stats summarizes mean and
+// standard deviation of the errors across seeds.
+type Table4Stats struct {
+	Workload                   string
+	TimeErrMean, TimeErrSD     float64
+	EnergyErrMean, EnergyErrSD float64
+	Runs                       int
+}
+
+// Table4Statistics repeats the Table 4 validation across seeds and
+// aggregates per-workload error statistics.
+func (s *Suite) Table4Statistics(seeds int, base uint64) ([]Table4Stats, error) {
+	if seeds < 2 {
+		return nil, fmt.Errorf("analysis: need at least 2 seeds")
+	}
+	type acc struct{ time, energy stats.Summary }
+	accs := make(map[string]*acc)
+	for i := 0; i < seeds; i++ {
+		rows, err := s.Table4(base + uint64(i)*101)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			a := accs[r.Workload]
+			if a == nil {
+				a = &acc{}
+				accs[r.Workload] = a
+			}
+			a.time.Add(r.TimeErrPct)
+			a.energy.Add(r.EnergyErrPct)
+		}
+	}
+	var out []Table4Stats
+	for _, name := range workload.PaperNames() {
+		a := accs[name]
+		if a == nil {
+			continue
+		}
+		out = append(out, Table4Stats{
+			Workload:      name,
+			TimeErrMean:   a.time.Mean(),
+			TimeErrSD:     a.time.StdDev(),
+			EnergyErrMean: a.energy.Mean(),
+			EnergyErrSD:   a.energy.StdDev(),
+			Runs:          a.time.N(),
+		})
+	}
+	return out, nil
+}
+
+// PPRRow is one line of Table 6.
+type PPRRow struct {
+	Workload string
+	Unit     string
+	A9, K10  float64
+	// PaperA9 and PaperK10 are the published values for side-by-side
+	// reporting.
+	PaperA9, PaperK10 float64
+}
+
+// Table6 computes the performance-to-power ratio of a single node of
+// each type at its most energy-efficient configuration (all cores,
+// maximum frequency), reproducing Table 6.
+func (s *Suite) Table6() ([]PPRRow, error) {
+	var rows []PPRRow
+	for _, name := range workload.PaperNames() {
+		row := PPRRow{
+			Workload: name,
+			Unit:     fmt.Sprintf("(%s/s)/W", workload.PaperUnit[name]),
+			PaperA9:  workload.PaperPPR[name]["A9"],
+			PaperK10: workload.PaperPPR[name]["K10"],
+		}
+		for _, nodeName := range []string{"A9", "K10"} {
+			node, err := s.node(nodeName)
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := cluster.NewConfig(cluster.FullNodes(node, 1))
+			if err != nil {
+				return nil, err
+			}
+			a, err := s.analyze(cfg, name)
+			if err != nil {
+				return nil, err
+			}
+			if nodeName == "A9" {
+				row.A9 = a.PPRAt(1)
+			} else {
+				row.K10 = a.PPRAt(1)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable6 writes the PPR table.
+func RenderTable6(w io.Writer, rows []PPRRow) error {
+	t := report.NewTable("Table 6: performance-to-power ratio",
+		"Program", "PPR unit", "A9", "paper A9", "K10", "paper K10")
+	for _, r := range rows {
+		t.MustAddRow(r.Workload, r.Unit,
+			fmt.Sprintf("%.4g", r.A9), fmt.Sprintf("%.4g", r.PaperA9),
+			fmt.Sprintf("%.4g", r.K10), fmt.Sprintf("%.4g", r.PaperK10))
+	}
+	return t.Render(w)
+}
+
+// MetricsRow is one (workload, configuration) proportionality entry.
+type MetricsRow struct {
+	Workload string
+	Config   string
+	Metrics  energyprop.Metrics
+}
+
+// Table7 computes the single-node proportionality metrics for both node
+// types across all workloads.
+func (s *Suite) Table7() ([]MetricsRow, error) {
+	var rows []MetricsRow
+	for _, name := range workload.PaperNames() {
+		for _, nodeName := range []string{"A9", "K10"} {
+			node, err := s.node(nodeName)
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := cluster.NewConfig(cluster.FullNodes(node, 1))
+			if err != nil {
+				return nil, err
+			}
+			a, err := s.analyze(cfg, name)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, MetricsRow{Workload: name, Config: nodeName, Metrics: a.Metrics()})
+		}
+	}
+	return rows, nil
+}
+
+// Table8 computes cluster-wide proportionality metrics for the 1 kW
+// substitution-ladder mixes.
+func (s *Suite) Table8() ([]MetricsRow, error) {
+	spec, err := cluster.DefaultBudget(s.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	ladder, err := spec.Ladder()
+	if err != nil {
+		return nil, err
+	}
+	var rows []MetricsRow
+	for _, name := range workload.PaperNames() {
+		for _, m := range ladder {
+			a, err := s.analyze(m.Config, name)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, MetricsRow{
+				Workload: name,
+				Config:   fmt.Sprintf("%d A9: %d K10", m.Wimpy, m.Brawny),
+				Metrics:  a.Metrics(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderMetricsRows writes proportionality metric rows as a table.
+func RenderMetricsRows(w io.Writer, title string, rows []MetricsRow) error {
+	t := report.NewTable(title, "Program", "Config", "DPR", "IPR", "EPM", "LDR")
+	for _, r := range rows {
+		t.MustAddRow(r.Workload, r.Config,
+			fmt.Sprintf("%.2f", r.Metrics.DPR),
+			fmt.Sprintf("%.2f", r.Metrics.IPR),
+			fmt.Sprintf("%.2f", r.Metrics.EPM),
+			fmt.Sprintf("%.2f", r.Metrics.LDR))
+	}
+	return t.Render(w)
+}
+
+// ConfigSpaceSize returns the footnote-4 configuration-space count for
+// the 10-ARM + 10-AMD space.
+func (s *Suite) ConfigSpaceSize() (int, error) {
+	arm, err := s.node("A9")
+	if err != nil {
+		return 0, err
+	}
+	amd, err := s.node("K10")
+	if err != nil {
+		return 0, err
+	}
+	return cluster.SpaceSize([]cluster.Limit{
+		{Type: arm, MaxNodes: 10},
+		{Type: amd, MaxNodes: 10},
+	}), nil
+}

@@ -1,0 +1,55 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/hardware"
+	"repro/internal/workload"
+)
+
+// LoadEnvironment builds the catalog and workload registry the CLI tools
+// operate on: the built-in A9/K10 catalog and the six calibrated paper
+// workloads, optionally extended with user-defined node types
+// (nodesPath, a JSON array of node descriptions) and workload profiles
+// (workloadsPath, a JSON array of raw demand profiles). Empty paths skip
+// the overlay.
+func LoadEnvironment(nodesPath, workloadsPath string) (*hardware.Catalog, *workload.Registry, error) {
+	catalog := hardware.DefaultCatalog()
+	if nodesPath != "" {
+		f, err := os.Open(nodesPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cli: opening node catalog: %w", err)
+		}
+		err = catalog.MergeJSON(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("cli: %s: %w", nodesPath, err)
+		}
+	}
+	registry, err := workload.PaperRegistry(catalog)
+	if err != nil {
+		return nil, nil, err
+	}
+	if workloadsPath != "" {
+		f, err := os.Open(workloadsPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cli: opening workloads: %w", err)
+		}
+		extra, err2 := workload.ReadRegistryJSON(f)
+		f.Close()
+		if err2 != nil {
+			return nil, nil, fmt.Errorf("cli: %s: %w", workloadsPath, err2)
+		}
+		for _, name := range extra.Names() {
+			p, err := extra.Lookup(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := registry.Register(p); err != nil {
+				return nil, nil, fmt.Errorf("cli: %s: %w", workloadsPath, err)
+			}
+		}
+	}
+	return catalog, registry, nil
+}

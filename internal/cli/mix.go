@@ -1,0 +1,51 @@
+// Package cli holds helpers shared by the command-line tools: parsing
+// cluster-mix specifications like "32xA9,12xK10".
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/units"
+)
+
+// ParseMix parses a comma-separated list of COUNTxTYPE entries into a
+// configuration. cores > 0 overrides the active core count of every
+// group; freqGHz > 0 snaps every group to the nearest ladder step of
+// that frequency.
+func ParseMix(catalog *hardware.Catalog, mix string, cores int, freqGHz float64) (cluster.Config, error) {
+	var groups []cluster.Group
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.SplitN(part, "x", 2)
+		if len(fields) != 2 {
+			return cluster.Config{}, fmt.Errorf("bad mix entry %q, want COUNTxTYPE", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return cluster.Config{}, fmt.Errorf("bad count in %q: %w", part, err)
+		}
+		nt, err := catalog.Lookup(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		g := cluster.FullNodes(nt, n)
+		if cores > 0 {
+			if cores > nt.Cores {
+				return cluster.Config{}, fmt.Errorf("%s has only %d cores", nt.Name, nt.Cores)
+			}
+			g.Cores = cores
+		}
+		if freqGHz > 0 {
+			g.Freq = nt.NearestFreq(units.Hertz(freqGHz) * units.GHz)
+		}
+		groups = append(groups, g)
+	}
+	return cluster.NewConfig(groups...)
+}

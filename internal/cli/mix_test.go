@@ -1,0 +1,70 @@
+package cli
+
+import (
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/units"
+)
+
+func TestParseMixBasic(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	cfg, err := ParseMix(cat, "32xA9,12xK10", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Count("A9") != 32 || cfg.Count("K10") != 12 {
+		t.Errorf("counts = %d/%d", cfg.Count("A9"), cfg.Count("K10"))
+	}
+	for _, g := range cfg.Groups {
+		if g.Cores != g.Type.Cores || g.Freq != g.Type.FMax() {
+			t.Errorf("group %s not at full cores/fmax", g.Type.Name)
+		}
+	}
+}
+
+func TestParseMixWhitespaceAndEmptyEntries(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	cfg, err := ParseMix(cat, " 4 x A9 , , 2xK10 ", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Count("A9") != 4 || cfg.Count("K10") != 2 {
+		t.Errorf("counts = %d/%d", cfg.Count("A9"), cfg.Count("K10"))
+	}
+}
+
+func TestParseMixOverrides(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	cfg, err := ParseMix(cat, "2xA9", 2, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Groups[0]
+	if g.Cores != 2 {
+		t.Errorf("cores = %d, want 2", g.Cores)
+	}
+	// 0.75 GHz snaps to the nearest A9 ladder step, 0.8 GHz.
+	if g.Freq != 0.8*units.GHz {
+		t.Errorf("freq = %v, want 0.8 GHz", g.Freq)
+	}
+}
+
+func TestParseMixErrors(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	cases := []struct {
+		mix   string
+		cores int
+	}{
+		{"badentry", 0},
+		{"zzxA9", 0},
+		{"4xNOPE", 0},
+		{"", 0},      // no groups at all
+		{"4xA9", 99}, // more cores than the type has
+	}
+	for _, c := range cases {
+		if _, err := ParseMix(cat, c.mix, c.cores, 0); err == nil {
+			t.Errorf("mix %q cores %d accepted", c.mix, c.cores)
+		}
+	}
+}

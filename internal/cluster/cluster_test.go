@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hardware"
+	"repro/internal/units"
+)
+
+func TestFootnote4SpaceSize(t *testing.T) {
+	// Footnote 4: 10 ARM nodes x 5 freqs x 4 cores and 10 AMD nodes x
+	// 3 freqs x 6 cores give 36,000 mixed + 200 ARM-only + 180 AMD-only
+	// = 36,380 configurations.
+	cat := hardware.DefaultCatalog()
+	arm, err := cat.Lookup("A9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd, err := cat.Lookup("K10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := []Limit{
+		{Type: arm, MaxNodes: 10},
+		{Type: amd, MaxNodes: 10},
+	}
+	if got := SpaceSize(limits); got != 36380 {
+		t.Fatalf("SpaceSize = %d, want 36380", got)
+	}
+	// Enumerate must agree with the closed form.
+	count := 0
+	if err := Enumerate(limits, func(Config) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 36380 {
+		t.Errorf("Enumerate yielded %d configs, want 36380", count)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	arm, _ := cat.Lookup("A9")
+	limits := []Limit{{Type: arm, MaxNodes: 10}}
+	count := 0
+	if err := Enumerate(limits, func(Config) bool { count++; return count < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("early stop after %d configs, want 5", count)
+	}
+}
+
+func TestEnumerateFixedCoresAndFreq(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	arm, _ := cat.Lookup("A9")
+	amd, _ := cat.Lookup("K10")
+	limits := []Limit{
+		{Type: arm, MaxNodes: 32, FixCoresAndFreq: true},
+		{Type: amd, MaxNodes: 12, FixCoresAndFreq: true},
+	}
+	// 32*12 mixed + 32 + 12 = 428.
+	if got := SpaceSize(limits); got != 428 {
+		t.Errorf("SpaceSize = %d, want 428", got)
+	}
+	configs, err := EnumerateAll(limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 428 {
+		t.Errorf("got %d configs, want 428", len(configs))
+	}
+	for _, c := range configs {
+		for _, g := range c.Groups {
+			if g.Cores != g.Type.Cores || g.Freq != g.Type.FMax() {
+				t.Fatalf("config %s not pinned to full cores at fmax", c)
+			}
+		}
+	}
+}
+
+func TestConfigStringPaperStyle(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	arm, _ := cat.Lookup("A9")
+	amd, _ := cat.Lookup("K10")
+	c := MustConfig(FullNodes(arm, 32), FullNodes(amd, 12))
+	if got := c.String(); got != "32 A9: 12 K10" {
+		t.Errorf("String = %q, want \"32 A9: 12 K10\"", got)
+	}
+	// Deviating cores/freq are annotated.
+	c2 := MustConfig(Group{Type: arm, Count: 4, Cores: 2, Freq: arm.FMin()})
+	if got := c2.String(); !strings.Contains(got, "2c@") {
+		t.Errorf("String = %q, want core/freq annotation", got)
+	}
+}
+
+func TestConfigRejectsInvalid(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	arm, _ := cat.Lookup("A9")
+	if _, err := NewConfig(); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewConfig(Group{Type: arm, Count: 1, Cores: 99, Freq: arm.FMax()}); err == nil {
+		t.Error("excess cores accepted")
+	}
+	if _, err := NewConfig(Group{Type: arm, Count: 1, Cores: 1, Freq: 12345}); err == nil {
+		t.Error("off-ladder frequency accepted")
+	}
+	if _, err := NewConfig(FullNodes(arm, 1), FullNodes(arm, 2)); err == nil {
+		t.Error("duplicate group accepted")
+	}
+}
+
+func TestBudgetLadderMatchesPaper(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	spec, err := DefaultBudget(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.SubstitutionRatio(); got != 8 {
+		t.Fatalf("substitution ratio = %d, want 8 (footnote 3)", got)
+	}
+	ladder, err := spec.Ladder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 16}, {32, 12}, {64, 8}, {96, 4}, {128, 0}}
+	if len(ladder) != len(want) {
+		t.Fatalf("ladder has %d mixes, want %d: %+v", len(ladder), len(want), ladder)
+	}
+	for i, m := range ladder {
+		if m.Wimpy != want[i][0] || m.Brawny != want[i][1] {
+			t.Errorf("ladder[%d] = %d A9, %d K10; want %d, %d",
+				i, m.Wimpy, m.Brawny, want[i][0], want[i][1])
+		}
+		if peak := spec.PeakWithSwitches(m.Wimpy, m.Brawny); peak > spec.Budget {
+			t.Errorf("ladder[%d] peak %v exceeds budget %v", i, peak, spec.Budget)
+		}
+	}
+}
+
+func TestBudgetMaximalMixesWithinBudget(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	spec, err := DefaultBudget(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes := spec.MaximalMixes()
+	if len(mixes) == 0 {
+		t.Fatal("no maximal mixes")
+	}
+	for _, m := range mixes {
+		if !spec.Fits(m.Wimpy, m.Brawny) {
+			t.Errorf("mix %dA9:%dK10 does not fit budget", m.Wimpy, m.Brawny)
+		}
+		if spec.Fits(m.Wimpy+1, m.Brawny) {
+			t.Errorf("mix %dA9:%dK10 is not maximal (one more wimpy node fits)", m.Wimpy, m.Brawny)
+		}
+	}
+}
+
+// TestIdlePowerAdditive is a property: idle power of a config equals the
+// sum over groups of count*idle.
+func TestIdlePowerAdditive(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	arm, _ := cat.Lookup("A9")
+	amd, _ := cat.Lookup("K10")
+	f := func(nA, nK uint8) bool {
+		a := int(nA%64) + 1
+		k := int(nK%16) + 1
+		c := MustConfig(FullNodes(arm, a), FullNodes(amd, k))
+		want := units.Watts(float64(a)*1.8 + float64(k)*45)
+		return float64(c.IdlePower()-want) < 1e-9 && float64(want-c.IdlePower()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwitchPowerModel(t *testing.T) {
+	sw := hardware.DefaultSwitch()
+	cases := []struct {
+		nodes int
+		want  units.Watts
+	}{{0, 0}, {1, 20}, {8, 20}, {9, 40}, {32, 80}, {128, 320}}
+	for _, c := range cases {
+		if got := sw.Power(c.nodes); got != c.want {
+			t.Errorf("switch power for %d nodes = %v, want %v", c.nodes, got, c.want)
+		}
+	}
+}

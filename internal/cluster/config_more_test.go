@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hardware"
+)
+
+func TestConfigAccessors(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	a9, _ := cat.Lookup("A9")
+	k10, _ := cat.Lookup("K10")
+	c := MustConfig(FullNodes(a9, 32), FullNodes(k10, 12))
+
+	if got := c.Nodes(); got != 44 {
+		t.Errorf("Nodes = %d, want 44", got)
+	}
+	if got := c.Degree(); got != 2 {
+		t.Errorf("Degree = %d, want 2", got)
+	}
+	if got := c.Count("A9"); got != 32 {
+		t.Errorf("Count(A9) = %d", got)
+	}
+	if got := c.Count("K10"); got != 12 {
+		t.Errorf("Count(K10) = %d", got)
+	}
+	if got := c.Count("XeonE5"); got != 0 {
+		t.Errorf("Count of absent type = %d", got)
+	}
+	// Rated peak: 32*5 + 12*60 = 880 W (no switches in NominalPeak).
+	if got := c.NominalPeak(); got != 880 {
+		t.Errorf("NominalPeak = %v, want 880 W", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("empty config validated")
+	}
+}
+
+func TestConfigKeyCanonical(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	a9, _ := cat.Lookup("A9")
+	k10, _ := cat.Lookup("K10")
+	// Group order at construction does not matter: keys are canonical.
+	c1 := MustConfig(FullNodes(a9, 4), FullNodes(k10, 2))
+	c2 := MustConfig(FullNodes(k10, 2), FullNodes(a9, 4))
+	if c1.Key() != c2.Key() {
+		t.Errorf("keys differ for identical configs: %q vs %q", c1.Key(), c2.Key())
+	}
+	// Different cores or frequency produce different keys.
+	c3 := MustConfig(Group{Type: a9, Count: 4, Cores: 2, Freq: a9.FMax()}, FullNodes(k10, 2))
+	if c3.Key() == c1.Key() {
+		t.Error("core count not part of the key")
+	}
+	if !strings.Contains(c1.Key(), "A9") || !strings.Contains(c1.Key(), "K10") {
+		t.Errorf("key %q missing type names", c1.Key())
+	}
+}
+
+func TestNewConfigDropsEmptyGroups(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	a9, _ := cat.Lookup("A9")
+	k10, _ := cat.Lookup("K10")
+	c, err := NewConfig(FullNodes(a9, 4), Group{Type: k10, Count: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Degree() != 1 {
+		t.Errorf("zero-count group not dropped: degree %d", c.Degree())
+	}
+}

@@ -1,0 +1,197 @@
+// Package colocate studies two workloads sharing one heterogeneous node
+// pool — the co-location setting the paper's related work surveys
+// (Bubble-Up, Bubble-Flux) but its evaluation leaves open. The question
+// it answers is specific to inter-node heterogeneity: when an EP-like
+// workload (wimpy-favoring PPR) and an x264-like workload
+// (brawny-favoring PPR) share a pool of A9 and K10 nodes, how much
+// energy does *affinity* partitioning (each workload gets the node type
+// it is efficient on) save over proportional splitting?
+//
+// Nodes are partitioned, not time-shared: each workload runs on its own
+// disjoint sub-cluster, so there is no interference term — the paper's
+// model applies unchanged to each side.
+package colocate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Pool is the shared node inventory.
+type Pool struct {
+	// Types lists the node types and how many of each the pool holds.
+	Types  []*hardware.NodeType
+	Counts []int
+}
+
+// Validate checks the pool.
+func (p Pool) Validate() error {
+	if len(p.Types) == 0 || len(p.Types) != len(p.Counts) {
+		return errors.New("colocate: malformed pool")
+	}
+	for i, t := range p.Types {
+		if t == nil {
+			return errors.New("colocate: nil node type")
+		}
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if p.Counts[i] < 0 {
+			return fmt.Errorf("colocate: negative count for %s", t.Name)
+		}
+	}
+	return nil
+}
+
+// Partition assigns a slice of the pool to each of the two workloads:
+// A[i] nodes of type i to the first workload, Counts[i]-A[i] to the
+// second.
+type Partition struct {
+	A []int
+}
+
+// Assignment is one evaluated partition.
+type Assignment struct {
+	Partition Partition
+	// TimeA/TimeB are the per-job execution times of each workload on
+	// its sub-cluster; EnergyA/EnergyB the per-job energies.
+	TimeA, TimeB     units.Seconds
+	EnergyA, EnergyB units.Joules
+	// TotalEnergy is EnergyA + EnergyB (one job each).
+	TotalEnergy units.Joules
+}
+
+// config builds the cluster configuration for one side of a partition;
+// ok is false when that side has no nodes.
+func (p Pool) config(counts []int) (cluster.Config, bool) {
+	var groups []cluster.Group
+	for i, t := range p.Types {
+		if counts[i] > 0 {
+			groups = append(groups, cluster.FullNodes(t, counts[i]))
+		}
+	}
+	if len(groups) == 0 {
+		return cluster.Config{}, false
+	}
+	cfg, err := cluster.NewConfig(groups...)
+	if err != nil {
+		return cluster.Config{}, false
+	}
+	return cfg, true
+}
+
+// Evaluate runs both workloads on the partition. Both sides must be
+// non-empty and support their node types.
+func (p Pool) Evaluate(part Partition, wlA, wlB *workload.Profile, opt model.Options) (Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	if len(part.A) != len(p.Types) {
+		return Assignment{}, errors.New("colocate: partition arity mismatch")
+	}
+	b := make([]int, len(part.A))
+	for i, a := range part.A {
+		if a < 0 || a > p.Counts[i] {
+			return Assignment{}, fmt.Errorf("colocate: partition assigns %d of %d %s nodes", a, p.Counts[i], p.Types[i].Name)
+		}
+		b[i] = p.Counts[i] - a
+	}
+	cfgA, okA := p.config(part.A)
+	cfgB, okB := p.config(b)
+	if !okA || !okB {
+		return Assignment{}, errors.New("colocate: empty side")
+	}
+	resA, err := model.Evaluate(cfgA, wlA, opt)
+	if err != nil {
+		return Assignment{}, err
+	}
+	resB, err := model.Evaluate(cfgB, wlB, opt)
+	if err != nil {
+		return Assignment{}, err
+	}
+	return Assignment{
+		Partition:   part,
+		TimeA:       resA.Time,
+		TimeB:       resB.Time,
+		EnergyA:     resA.Energy,
+		EnergyB:     resB.Energy,
+		TotalEnergy: resA.Energy + resB.Energy,
+	}, nil
+}
+
+// Best searches every partition of the pool between the two workloads
+// and returns the one minimizing total energy subject to optional
+// per-workload deadlines (zero disables a deadline). It also returns
+// the proportional split (each side gets about half of every type) for
+// comparison.
+func (p Pool) Best(wlA, wlB *workload.Profile, deadlineA, deadlineB units.Seconds, opt model.Options) (best, proportional Assignment, err error) {
+	if err := p.Validate(); err != nil {
+		return Assignment{}, Assignment{}, err
+	}
+	// The proportional baseline: half of every type to each side
+	// (rounding favors side A).
+	half := make([]int, len(p.Counts))
+	for i, c := range p.Counts {
+		half[i] = (c + 1) / 2
+	}
+	proportional, err = p.Evaluate(Partition{A: half}, wlA, wlB, opt)
+	if err != nil {
+		return Assignment{}, Assignment{}, fmt.Errorf("colocate: proportional baseline: %w", err)
+	}
+
+	found := false
+	bestEnergy := math.Inf(1)
+	assign := make([]int, len(p.Counts))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(p.Counts) {
+			part := Partition{A: append([]int(nil), assign...)}
+			a, err := p.Evaluate(part, wlA, wlB, opt)
+			if err != nil {
+				return nil // empty side or unsupported: skip
+			}
+			if deadlineA > 0 && a.TimeA > deadlineA {
+				return nil
+			}
+			if deadlineB > 0 && a.TimeB > deadlineB {
+				return nil
+			}
+			if float64(a.TotalEnergy) < bestEnergy {
+				bestEnergy = float64(a.TotalEnergy)
+				best = a
+				found = true
+			}
+			return nil
+		}
+		for v := 0; v <= p.Counts[i]; v++ {
+			assign[i] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return Assignment{}, Assignment{}, err
+	}
+	if !found {
+		return Assignment{}, Assignment{}, errors.New("colocate: no partition satisfies the deadlines")
+	}
+	return best, proportional, nil
+}
+
+// AffinityGain returns the fractional energy saving of the best
+// partition over the proportional split.
+func AffinityGain(best, proportional Assignment) float64 {
+	if proportional.TotalEnergy <= 0 {
+		return 0
+	}
+	return 1 - float64(best.TotalEnergy)/float64(proportional.TotalEnergy)
+}

@@ -1,0 +1,149 @@
+package colocate
+
+import (
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func pool(t *testing.T, nA9, nK10 int) (Pool, *workload.Registry) {
+	t.Helper()
+	cat := hardware.DefaultCatalog()
+	reg, err := workload.PaperRegistry(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a9, _ := cat.Lookup("A9")
+	k10, _ := cat.Lookup("K10")
+	return Pool{Types: []*hardware.NodeType{a9, k10}, Counts: []int{nA9, nK10}}, reg
+}
+
+// TestAffinityBeatsProportional is the headline co-location result:
+// when EP (wimpy-favoring) and x264 (brawny-favoring) share a pool, the
+// best partition routes each workload to its efficient node type and
+// saves energy over splitting every type in half.
+func TestAffinityBeatsProportional(t *testing.T) {
+	p, reg := pool(t, 16, 8)
+	ep, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x264, err := reg.Lookup(workload.NameX264)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, prop, err := p.Best(ep, x264, 0, 0, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := AffinityGain(best, prop)
+	if gain <= 0 {
+		t.Fatalf("affinity gain %.3f, want positive", gain)
+	}
+	// The optimal partition gives EP (side A) most of the A9 nodes and
+	// x264 most of the K10 nodes.
+	a9ToEP := best.Partition.A[0]
+	k10ToEP := best.Partition.A[1]
+	if a9ToEP < 12 {
+		t.Errorf("EP got only %d of 16 A9 nodes", a9ToEP)
+	}
+	if k10ToEP > 2 {
+		t.Errorf("EP got %d K10 nodes; x264 should hold the brawny side", k10ToEP)
+	}
+	t.Logf("best partition: EP gets %dxA9+%dxK10; gain %.1f%%", a9ToEP, k10ToEP, 100*gain)
+}
+
+// TestDeadlinesConstrainPartition: a tight deadline for x264 forces
+// brawny capacity to its side even when energy would prefer otherwise.
+func TestDeadlinesConstrainPartition(t *testing.T) {
+	p, reg := pool(t, 8, 4)
+	ep, _ := reg.Lookup(workload.NameEP)
+	x264, _ := reg.Lookup(workload.NameX264)
+
+	relaxed, _, err := p.Best(ep, x264, 0, 0, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deadline slightly tighter than the relaxed optimum's x264 time.
+	// The relaxed optimum already gives x264 every brawny node, so only
+	// a few percent of additional speed is available (adding wimpy nodes
+	// barely moves a brawny-dominated x264); 3% is reachable, 20% not.
+	deadline := units.Seconds(float64(relaxed.TimeB) * 0.97)
+	constrained, _, err := p.Best(ep, x264, 0, deadline, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.TimeB > deadline {
+		t.Errorf("constrained partition misses the deadline: %v > %v", constrained.TimeB, deadline)
+	}
+	if constrained.TotalEnergy < relaxed.TotalEnergy {
+		t.Errorf("constrained optimum %v cheaper than relaxed %v", constrained.TotalEnergy, relaxed.TotalEnergy)
+	}
+	// An impossible deadline errors.
+	if _, _, err := p.Best(ep, x264, 0, units.Seconds(1e-9), model.Options{}); err == nil {
+		t.Error("impossible deadline accepted")
+	}
+}
+
+// TestPartitionConservation: every evaluated partition uses each node
+// exactly once (sides are disjoint and cover the pool).
+func TestPartitionConservation(t *testing.T) {
+	p, reg := pool(t, 5, 3)
+	ep, _ := reg.Lookup(workload.NameEP)
+	bs, _ := reg.Lookup(workload.NameBlackscholes)
+	a, err := p.Evaluate(Partition{A: []int{2, 1}}, ep, bs, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TimeA <= 0 || a.TimeB <= 0 || a.TotalEnergy != a.EnergyA+a.EnergyB {
+		t.Errorf("malformed assignment: %+v", a)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	p, reg := pool(t, 4, 2)
+	ep, _ := reg.Lookup(workload.NameEP)
+	bs, _ := reg.Lookup(workload.NameBlackscholes)
+	if _, err := p.Evaluate(Partition{A: []int{1}}, ep, bs, model.Options{}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := p.Evaluate(Partition{A: []int{9, 0}}, ep, bs, model.Options{}); err == nil {
+		t.Error("over-assignment accepted")
+	}
+	if _, err := p.Evaluate(Partition{A: []int{4, 2}}, ep, bs, model.Options{}); err == nil {
+		t.Error("empty B side accepted")
+	}
+	bad := Pool{Types: []*hardware.NodeType{nil}, Counts: []int{1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("nil type accepted")
+	}
+}
+
+// TestSameWorkloadDegeneracy documents an objective-function subtlety:
+// without deadlines, minimizing the SUM of per-job energies degenerates
+// even for identical workloads — the optimizer starves one side down to
+// the most efficient nodes and lets its job run long (energy per unit
+// is all that matters when time is unconstrained). Deadlines that pin
+// both sides to the proportional split's speed remove the degeneracy,
+// and the gain collapses to rounding effects.
+func TestSameWorkloadDegeneracy(t *testing.T) {
+	p, reg := pool(t, 8, 4)
+	ep, _ := reg.Lookup(workload.NameEP)
+	unconstrained, prop, err := p.Best(ep, ep, 0, 0, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := AffinityGain(unconstrained, prop); gain <= 0 {
+		t.Errorf("unconstrained same-workload gain %.3f; expected the degeneracy to find savings", gain)
+	}
+	constrained, prop2, err := p.Best(ep, ep, prop.TimeA, prop.TimeB, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := AffinityGain(constrained, prop2); gain < 0 || gain > 0.08 {
+		t.Errorf("deadline-pinned same-workload gain %.3f, want small and nonnegative", gain)
+	}
+}

@@ -1,0 +1,149 @@
+package hardware
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// nodeTypeJSON is the on-disk representation of a node type. Frequencies
+// are in GHz, bandwidths in bytes per second, powers in watts and memory
+// in bytes, matching how datasheets quote them.
+type nodeTypeJSON struct {
+	Name            string    `json:"name"`
+	Model           string    `json:"model,omitempty"`
+	ISA             string    `json:"isa,omitempty"`
+	Cores           int       `json:"cores"`
+	FreqGHz         []float64 `json:"freq_ghz"`
+	DynamicExponent float64   `json:"dynamic_exponent,omitempty"`
+	MemBandwidth    float64   `json:"mem_bandwidth_bps,omitempty"`
+	NICBandwidth    float64   `json:"nic_bandwidth_bps"`
+	Power           struct {
+		CPUActPerCore   float64 `json:"cpu_act_per_core_w"`
+		CPUStallPerCore float64 `json:"cpu_stall_per_core_w"`
+		Mem             float64 `json:"mem_w"`
+		Net             float64 `json:"net_w"`
+		Idle            float64 `json:"idle_w"`
+	} `json:"power"`
+	NominalPeakW float64 `json:"nominal_peak_w"`
+	MemPerNode   float64 `json:"mem_per_node_bytes,omitempty"`
+}
+
+// defaultDynamicExponent is used when a JSON node omits the DVFS scaling
+// exponent; it matches the catalog's built-in nodes.
+const defaultDynamicExponent = 2.2
+
+func toJSON(n *NodeType) nodeTypeJSON {
+	var j nodeTypeJSON
+	j.Name = n.Name
+	j.Model = n.Model
+	j.ISA = string(n.ISA)
+	j.Cores = n.Cores
+	for _, f := range n.Freq.Steps {
+		j.FreqGHz = append(j.FreqGHz, float64(f)/1e9)
+	}
+	j.DynamicExponent = n.Freq.DynamicExponent
+	j.MemBandwidth = float64(n.MemBandwidth)
+	j.NICBandwidth = float64(n.NICBandwidth)
+	j.Power.CPUActPerCore = float64(n.Power.CPUActPerCore)
+	j.Power.CPUStallPerCore = float64(n.Power.CPUStallPerCore)
+	j.Power.Mem = float64(n.Power.Mem)
+	j.Power.Net = float64(n.Power.Net)
+	j.Power.Idle = float64(n.Power.Idle)
+	j.NominalPeakW = float64(n.NominalPeak)
+	j.MemPerNode = float64(n.MemPerNode)
+	return j
+}
+
+func fromJSON(j nodeTypeJSON) (*NodeType, error) {
+	n := &NodeType{
+		Name:  j.Name,
+		Model: j.Model,
+		ISA:   ISA(j.ISA),
+		Cores: j.Cores,
+		Freq: DVFS{
+			DynamicExponent: j.DynamicExponent,
+		},
+		MemBandwidth: units.BytesPerSecond(j.MemBandwidth),
+		NICBandwidth: units.BytesPerSecond(j.NICBandwidth),
+		Power: PowerParams{
+			CPUActPerCore:   units.Watts(j.Power.CPUActPerCore),
+			CPUStallPerCore: units.Watts(j.Power.CPUStallPerCore),
+			Mem:             units.Watts(j.Power.Mem),
+			Net:             units.Watts(j.Power.Net),
+			Idle:            units.Watts(j.Power.Idle),
+		},
+		NominalPeak: units.Watts(j.NominalPeakW),
+		MemPerNode:  units.Bytes(j.MemPerNode),
+	}
+	if n.Freq.DynamicExponent == 0 {
+		n.Freq.DynamicExponent = defaultDynamicExponent
+	}
+	for _, g := range j.FreqGHz {
+		n.Freq.Steps = append(n.Freq.Steps, units.Hertz(g*1e9))
+	}
+	sort.Slice(n.Freq.Steps, func(a, b int) bool { return n.Freq.Steps[a] < n.Freq.Steps[b] })
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("hardware: node %q: %w", j.Name, err)
+	}
+	return n, nil
+}
+
+// WriteJSON serializes the catalog's node types, sorted by name.
+func (c *Catalog) WriteJSON(w io.Writer) error {
+	var out []nodeTypeJSON
+	for _, name := range c.Names() {
+		n, err := c.Lookup(name)
+		if err != nil {
+			return err
+		}
+		out = append(out, toJSON(n))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadCatalogJSON parses node types from JSON and registers them into a
+// new catalog. Every node is validated; the first failure aborts.
+func ReadCatalogJSON(r io.Reader) (*Catalog, error) {
+	var in []nodeTypeJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("hardware: parsing catalog JSON: %w", err)
+	}
+	c := NewCatalog()
+	for _, j := range in {
+		n, err := fromJSON(j)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Register(n); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// MergeJSON reads node types from JSON into an existing catalog,
+// rejecting duplicates against both the file and the catalog.
+func (c *Catalog) MergeJSON(r io.Reader) error {
+	extra, err := ReadCatalogJSON(r)
+	if err != nil {
+		return err
+	}
+	for _, name := range extra.Names() {
+		n, err := extra.Lookup(name)
+		if err != nil {
+			return err
+		}
+		if err := c.Register(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package hardware
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// SwitchModel accounts for the Ethernet switches that aggregate wimpy
+// nodes. The paper's footnote 3 derives the 8:1 A9-to-K10 substitution
+// ratio by "factoring about 20W peak power drawn by the switch that
+// connects the A9 nodes": every 8 A9 nodes carry a 20 W switch share, so
+// 8 x 5 W + 20 W = 60 W replaces one K10.
+//
+// Switch power participates only in power-budget accounting. It is
+// excluded from the proportionality metrics, which is the only reading
+// under which Table 8's homogeneous-A9 column equals Table 7's
+// single-node A9 column (a constant 20 W per 8 nodes added to both idle
+// and peak would change IPR).
+type SwitchModel struct {
+	// PowerPerSwitch is the (non-proportional) draw of one switch share.
+	PowerPerSwitch units.Watts
+	// NodesPerSwitch is how many wimpy nodes share one switch unit.
+	NodesPerSwitch int
+}
+
+// DefaultSwitch returns the paper's 20 W per 8 wimpy nodes model.
+func DefaultSwitch() SwitchModel {
+	return SwitchModel{PowerPerSwitch: 20, NodesPerSwitch: 8}
+}
+
+// Power returns the switch power needed to connect n wimpy nodes.
+func (s SwitchModel) Power(n int) units.Watts {
+	if n <= 0 || s.NodesPerSwitch <= 0 {
+		return 0
+	}
+	shares := int(math.Ceil(float64(n) / float64(s.NodesPerSwitch)))
+	return units.Watts(float64(shares) * float64(s.PowerPerSwitch))
+}
+
+// EffectivePeakPerNode returns a wimpy node's rated peak including its
+// amortized switch share, the quantity the 8:1 substitution uses.
+func (s SwitchModel) EffectivePeakPerNode(node *NodeType) units.Watts {
+	if s.NodesPerSwitch <= 0 {
+		return node.NominalPeak
+	}
+	return node.NominalPeak + units.Watts(float64(s.PowerPerSwitch)/float64(s.NodesPerSwitch))
+}
+
+// SubstitutionRatio returns how many wimpy nodes (with switch share)
+// replace one brawny node within the same peak-power envelope, rounded
+// down to a whole node.
+func (s SwitchModel) SubstitutionRatio(wimpy, brawny *NodeType) int {
+	eff := s.EffectivePeakPerNode(wimpy)
+	if eff <= 0 {
+		return 0
+	}
+	return int(float64(brawny.NominalPeak) / float64(eff))
+}

@@ -1,0 +1,179 @@
+package loadtrace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adaptive"
+	"repro/internal/cluster"
+	"repro/internal/energyprop"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func candidates(t *testing.T) []*energyprop.Analysis {
+	t.Helper()
+	cat := hardware.DefaultCatalog()
+	reg, err := workload.PaperRegistry(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a9, _ := cat.Lookup("A9")
+	k10, _ := cat.Lookup("K10")
+	var out []*energyprop.Analysis
+	for _, m := range [][2]int{{32, 12}, {25, 8}, {25, 5}, {25, 2}} {
+		var groups []cluster.Group
+		if m[0] > 0 {
+			groups = append(groups, cluster.FullNodes(a9, m[0]))
+		}
+		if m[1] > 0 {
+			groups = append(groups, cluster.FullNodes(k10, m[1]))
+		}
+		a, err := energyprop.Analyze(cluster.MustConfig(groups...), p, model.Options{}, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// TestShapesWithinBounds: every shape stays in [0,1] across time.
+func TestShapesWithinBounds(t *testing.T) {
+	shapes := []Shape{
+		Diurnal{Mean: 0.3, Amplitude: 0.25, Period: 86400, PeakAt: 14 * 3600},
+		FlashCrowd{Base: 0.2, Peak: 0.95, Start: 3600, HalfLife: 1800},
+		Steps{Levels: []float64{0.1, 0.5, 0.9, 0.3}, Dwell: 600},
+	}
+	f := func(tRaw uint32) bool {
+		tm := float64(tRaw % 172800)
+		for _, s := range shapes {
+			v := s.At(tm)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiurnalPeakPhase(t *testing.T) {
+	d := Diurnal{Mean: 0.4, Amplitude: 0.3, Period: 86400, PeakAt: 14 * 3600}
+	if got := d.At(14 * 3600); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("peak load %g, want 0.7", got)
+	}
+	trough := d.At(2 * 3600)
+	if math.Abs(trough-0.1) > 1e-9 {
+		t.Errorf("trough load %g, want 0.1", trough)
+	}
+}
+
+func TestFlashCrowdDecay(t *testing.T) {
+	f := FlashCrowd{Base: 0.2, Peak: 1.0, Start: 100, HalfLife: 50}
+	if got := f.At(50); got != 0.2 {
+		t.Errorf("pre-surge load %g", got)
+	}
+	if got := f.At(100); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("surge onset %g, want 1.0", got)
+	}
+	if got := f.At(150); math.Abs(got-0.6) > 1e-9 { // one half-life: base + 0.8/2
+		t.Errorf("after one half-life %g, want 0.6", got)
+	}
+}
+
+func TestStepsCycle(t *testing.T) {
+	s := Steps{Levels: []float64{0.1, 0.9}, Dwell: 10}
+	if s.At(5) != 0.1 || s.At(15) != 0.9 || s.At(25) != 0.1 {
+		t.Error("step cycle wrong")
+	}
+}
+
+// TestDiurnalAdaptationSaves: over a day at ~30% mean load, adaptation
+// saves a large fraction of the static reference's energy — the
+// quantified version of the paper's over-provisioning motivation.
+func TestDiurnalAdaptationSaves(t *testing.T) {
+	cands := candidates(t)
+	shape := Diurnal{Mean: 0.3, Amplitude: 0.25, Period: 86400, PeakAt: 14 * 3600}
+	static, adapted, err := Evaluate(cands, shape, TraceOptions{
+		Duration: 86400,
+		Step:     900, // 15-minute reconfiguration epochs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Saving(static, adapted)
+	if s < 0.10 || s > 0.70 {
+		t.Errorf("diurnal saving %.3f outside plausible band", s)
+	}
+	if adapted.Switches == 0 {
+		t.Error("no configuration switches over a full diurnal cycle")
+	}
+	if adapted.SLOViolations != 0 {
+		t.Errorf("%d violations without an SLO policy", adapted.SLOViolations)
+	}
+	if math.Abs(static.MeanLoad-0.3) > 0.02 {
+		t.Errorf("mean load %.3f, want ~0.3", static.MeanLoad)
+	}
+}
+
+// TestFlashCrowdFeasibility: the adaptive plan must ride the surge on
+// the big configuration and come back down afterwards.
+func TestFlashCrowdAdaptation(t *testing.T) {
+	cands := candidates(t)
+	shape := FlashCrowd{Base: 0.15, Peak: 0.85, Start: 6 * 3600, HalfLife: 3600}
+	static, adapted, err := Evaluate(cands, shape, TraceOptions{
+		Duration: 86400,
+		Step:     600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adapted.Energy >= static.Energy {
+		t.Errorf("adaptation did not save energy: %.0f vs %.0f J", adapted.Energy, static.Energy)
+	}
+	if adapted.Switches < 2 {
+		t.Errorf("expected up- and down-switches around the surge, got %d", adapted.Switches)
+	}
+}
+
+// TestTightSLOForcesViolationsAtPeak: with an SLO no configuration can
+// hold at peak load, violations are counted and energy falls back to
+// the reference.
+func TestTightSLOForcesViolations(t *testing.T) {
+	cands := candidates(t)
+	shape := Diurnal{Mean: 0.5, Amplitude: 0.45, Period: 86400, PeakAt: 12 * 3600}
+	_, adapted, err := Evaluate(cands, shape, TraceOptions{
+		Duration: 86400,
+		Step:     900,
+		Policy:   adaptive.Policy{SLO: 0.05, MaxUtilization: 0.95},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adapted.SLOViolations == 0 {
+		t.Error("expected SLO violations near the 95% peak")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	cands := candidates(t)
+	shape := Steps{Levels: []float64{0.5}, Dwell: 10}
+	if _, _, err := Evaluate(nil, shape, TraceOptions{Duration: 100, Step: 10}); err == nil {
+		t.Error("no candidates accepted")
+	}
+	if _, _, err := Evaluate(cands, shape, TraceOptions{Duration: 0, Step: 10}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, _, err := Evaluate(cands, shape, TraceOptions{Duration: 10, Step: 100}); err == nil {
+		t.Error("step > duration accepted")
+	}
+}

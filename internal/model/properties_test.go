@@ -1,0 +1,295 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// TestHomogeneousScaling: for a compute-bound workload on a homogeneous
+// cluster, doubling the node count halves the execution time and leaves
+// the total energy unchanged (same work, same per-unit cost, idle
+// periods scale inversely with node count).
+func TestHomogeneousScaling(t *testing.T) {
+	cat, reg := paperSetup(t)
+	a9, _ := cat.Lookup("A9")
+	p, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Evaluate(cluster.MustConfig(cluster.FullNodes(a9, 4)), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := Evaluate(cluster.MustConfig(cluster.FullNodes(a9, 8)), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(float64(double.Time), float64(base.Time)/2) > 1e-9 {
+		t.Errorf("time did not halve: %v -> %v", base.Time, double.Time)
+	}
+	if stats.RelErr(float64(double.Energy), float64(base.Energy)) > 1e-9 {
+		t.Errorf("energy changed under replication: %v -> %v", base.Energy, double.Energy)
+	}
+}
+
+// TestTimeMonotoneInNodes is a property: adding nodes of any type never
+// slows the job down.
+func TestTimeMonotoneInNodes(t *testing.T) {
+	cat, reg := paperSetup(t)
+	a9, _ := cat.Lookup("A9")
+	k10, _ := cat.Lookup("K10")
+	f := func(aRaw, kRaw uint8, wlIdx uint8) bool {
+		names := workload.PaperNames()
+		p, err := reg.Lookup(names[int(wlIdx)%len(names)])
+		if err != nil {
+			return false
+		}
+		a := int(aRaw%20) + 1
+		k := int(kRaw % 8)
+		groups := []cluster.Group{cluster.FullNodes(a9, a)}
+		if k > 0 {
+			groups = append(groups, cluster.FullNodes(k10, k))
+		}
+		small, err := Evaluate(cluster.MustConfig(groups...), p, Options{})
+		if err != nil {
+			return false
+		}
+		groups[0] = cluster.FullNodes(a9, a+1)
+		big, err := Evaluate(cluster.MustConfig(groups...), p, Options{})
+		if err != nil {
+			return false
+		}
+		return big.Time <= small.Time*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTimeMonotoneInFrequency: raising the core frequency never slows a
+// compute-bound job.
+func TestTimeMonotoneInFrequency(t *testing.T) {
+	cat, reg := paperSetup(t)
+	a9, _ := cat.Lookup("A9")
+	p, err := reg.Lookup(workload.NameBlackscholes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := units.Seconds(math.Inf(1))
+	for _, fq := range a9.Freq.Steps {
+		res, err := Evaluate(cluster.MustConfig(cluster.Group{Type: a9, Count: 1, Cores: a9.Cores, Freq: fq}), p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Time >= prev {
+			t.Errorf("time not decreasing at %v: %v >= %v", fq, res.Time, prev)
+		}
+		prev = res.Time
+	}
+}
+
+// TestCoresHelpComputeBoundOnly: adding active cores speeds up a
+// compute-bound workload but cannot speed up a memory-bound one past the
+// memory controller limit.
+func TestCoresHelpComputeBoundOnly(t *testing.T) {
+	cat, reg := paperSetup(t)
+	k10, _ := cat.Lookup("K10")
+	rsa, err := reg.Lookup(workload.NameRSA) // compute bound
+	if err != nil {
+		t.Fatal(err)
+	}
+	x264, err := reg.Lookup(workload.NameX264) // memory bound
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(p *workload.Profile, cores int) units.Seconds {
+		res, err := Evaluate(cluster.MustConfig(cluster.Group{Type: k10, Count: 1, Cores: cores, Freq: k10.FMax()}), p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	if at(rsa, 6) >= at(rsa, 3) {
+		t.Error("RSA did not speed up with more cores")
+	}
+	// x264 is memory bound at full cores: T(6) == T(5) (the memory
+	// controller is the bottleneck at both counts).
+	if stats.RelErr(float64(at(x264, 6)), float64(at(x264, 5))) > 1e-9 {
+		t.Error("memory-bound x264 time changed between 5 and 6 cores")
+	}
+	// But with a single core, the core side binds and time rises.
+	if at(x264, 1) <= at(x264, 6) {
+		t.Error("x264 on one core not slower than on six")
+	}
+}
+
+// TestEnergyMonotoneInIdlePower: a node type with higher idle power can
+// only raise the configuration's energy, all else equal.
+func TestEnergyMonotoneInIdlePower(t *testing.T) {
+	cat, reg := paperSetup(t)
+	a9, _ := cat.Lookup("A9")
+	p, err := reg.Lookup(workload.NameJulius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := Evaluate(cluster.MustConfig(cluster.FullNodes(a9, 2)), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := *a9
+	hot.Name = "A9hot"
+	hot.Power.Idle = a9.Power.Idle * 2
+	// Same demand vector under the new name.
+	d, err := p.Demand("A9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := workload.NewProfile(p.Name, p.Domain, p.Unit, p.JobUnits)
+	if err := p2.SetDemand("A9hot", d); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Evaluate(cluster.MustConfig(cluster.FullNodes(&hot, 2)), p2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Energy <= res1.Energy {
+		t.Errorf("doubled idle power did not raise energy: %v vs %v", res2.Energy, res1.Energy)
+	}
+	if stats.RelErr(float64(res2.Time), float64(res1.Time)) > 1e-12 {
+		t.Error("idle power changed execution time")
+	}
+}
+
+// TestMemFrequencyInvariantOption: with the ablation flag, memory time
+// is pinned to the f_max reference and lowering the clock hurts less.
+func TestMemFrequencyInvariantOption(t *testing.T) {
+	cat, reg := paperSetup(t)
+	a9, _ := cat.Lookup("A9")
+	p, err := reg.Lookup(workload.NameX264)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgSlow := cluster.MustConfig(cluster.Group{Type: a9, Count: 1, Cores: a9.Cores, Freq: a9.FMin()})
+	paper, err := Evaluate(cfgSlow, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invariant, err := Evaluate(cfgSlow, p, Options{MemFrequencyInvariant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory-bound x264 at 0.2 GHz: the paper's literal model stretches
+	// memory time by 7x; the invariant variant keeps it at the f_max
+	// value, so the job finishes sooner.
+	if invariant.Time >= paper.Time {
+		t.Errorf("invariant-memory variant %v not faster than paper model %v", invariant.Time, paper.Time)
+	}
+	// At f_max the two variants are identical.
+	cfgFast := cluster.MustConfig(cluster.FullNodes(a9, 1))
+	a, err := Evaluate(cfgFast, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(cfgFast, p, Options{MemFrequencyInvariant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.Energy != b.Energy {
+		t.Error("model variants differ at f_max")
+	}
+}
+
+// TestIOArrivalLimitBinds: when the workload's I/O request rate is the
+// bottleneck, the NIC bandwidth stops mattering.
+func TestIOArrivalLimitBinds(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	k10, _ := cat.Lookup("K10")
+	mk := func(ioRate units.PerSecond) *workload.Profile {
+		p := workload.NewProfile("iotest", workload.DomainSynthetic, "req", 1000)
+		p.IORate = ioRate
+		if err := p.SetDemand("K10", workload.Demand{
+			CoreCycles: 1000,
+			IOBytes:    10,
+			IOReqs:     1,
+			Intensity:  0.5,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cfg := cluster.MustConfig(cluster.FullNodes(k10, 1))
+	// Slow request arrival: 100 req/s -> 10 s for 1000 requests.
+	slow, err := Evaluate(cfg, mk(100), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(float64(slow.Time), 10) > 1e-9 {
+		t.Errorf("arrival-limited time %v, want 10 s", slow.Time)
+	}
+	// Fast arrivals: transfer (10 kB at 125 MB/s) and CPU are both
+	// far quicker; time collapses by orders of magnitude.
+	fast, err := Evaluate(cfg, mk(1e9), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(fast.Time) > 1e-3 {
+		t.Errorf("fast-arrival time %v, want sub-millisecond", fast.Time)
+	}
+}
+
+// TestEvaluateErrors exercises failure paths.
+func TestEvaluateErrors(t *testing.T) {
+	cat, reg := paperSetup(t)
+	a15, _ := cat.Lookup("A15")
+	p, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper workloads do not cover the A15 extension type.
+	if _, err := Evaluate(cluster.MustConfig(cluster.FullNodes(a15, 1)), p, Options{}); err == nil {
+		t.Error("missing demand accepted")
+	}
+	bad := workload.NewProfile("empty", workload.DomainSynthetic, "u", 1)
+	if _, err := Evaluate(cluster.MustConfig(cluster.FullNodes(a15, 1)), bad, Options{}); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+// TestWorkSplitProportions: for a two-type mix the work shares follow
+// the per-node rates exactly.
+func TestWorkSplitProportions(t *testing.T) {
+	cat, reg := paperSetup(t)
+	a9, _ := cat.Lookup("A9")
+	k10, _ := cat.Lookup("K10")
+	p, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(cluster.MustConfig(cluster.FullNodes(a9, 10), cluster.FullNodes(k10, 5)), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, g := range res.Groups {
+		total += g.Units
+	}
+	if stats.RelErr(total, p.JobUnits) > 1e-12 {
+		t.Errorf("work shares sum to %g, want %g", total, p.JobUnits)
+	}
+	// Per-node share ratio equals the per-node rate ratio, i.e. both
+	// types spend the same time per assigned share.
+	perUnitA9 := float64(res.Groups[0].T) / res.Groups[0].UnitsPerNode
+	perUnitK10 := float64(res.Groups[1].T) / res.Groups[1].UnitsPerNode
+	shareRatio := res.Groups[1].UnitsPerNode / res.Groups[0].UnitsPerNode
+	rateRatio := perUnitA9 / perUnitK10
+	if stats.RelErr(shareRatio, rateRatio) > 1e-9 {
+		t.Errorf("share ratio %g != rate ratio %g", shareRatio, rateRatio)
+	}
+}

@@ -1,0 +1,101 @@
+package pareto
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// EvaluateParallel evaluates the model over the configurations with a
+// worker pool. The model itself is pure, so fan-out is embarrassingly
+// parallel; results are returned in the input order (deterministic,
+// unlike channel-collection order), with unsupported configurations
+// skipped exactly as in Evaluate. workers <= 0 uses GOMAXPROCS.
+func EvaluateParallel(configs []cluster.Config, wl *workload.Profile, opt model.Options, workers int) []Point {
+	if len(configs) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(configs) {
+		workers = len(configs)
+	}
+	if workers == 1 {
+		return Evaluate(configs, wl, opt)
+	}
+
+	// Fixed-slot results preserve input order and need no locking:
+	// each index is written by exactly one worker. Work is handed out
+	// in blocks — a single model evaluation takes only microseconds, so
+	// per-item channel traffic would dominate the fan-out.
+	const block = 256
+	results := make([]*Point, len(configs))
+	var wg sync.WaitGroup
+	next := make(chan [2]int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				for i := r[0]; i < r[1]; i++ {
+					res, err := model.Evaluate(configs[i], wl, opt)
+					if err != nil {
+						continue
+					}
+					results[i] = &Point{Config: configs[i], Time: res.Time, Energy: res.Energy, Result: res}
+				}
+			}
+		}()
+	}
+	for lo := 0; lo < len(configs); lo += block {
+		hi := lo + block
+		if hi > len(configs) {
+			hi = len(configs)
+		}
+		next <- [2]int{lo, hi}
+	}
+	close(next)
+	wg.Wait()
+
+	out := make([]Point, 0, len(configs))
+	for _, p := range results {
+		if p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// FrontierForParallel is FrontierFor with parallel evaluation: it
+// enumerates the space, fans the model evaluations across workers in
+// chunks (bounding memory to the chunk size plus the running frontier),
+// and folds each chunk into the frontier.
+func FrontierForParallel(limits []cluster.Limit, wl *workload.Profile, opt model.Options, workers int) ([]Point, error) {
+	const chunk = 8192
+	var frontier []Point
+	batch := make([]cluster.Config, 0, chunk)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		pts := EvaluateParallel(batch, wl, opt, workers)
+		frontier = Frontier(append(frontier, pts...))
+		batch = batch[:0]
+	}
+	err := cluster.Enumerate(limits, func(cfg cluster.Config) bool {
+		batch = append(batch, cfg)
+		if len(batch) >= chunk {
+			flush()
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	flush()
+	return Frontier(frontier), nil
+}

@@ -1,0 +1,112 @@
+package pareto
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func benchSpace(t testing.TB) ([]cluster.Config, *workload.Profile) {
+	cat := hardware.DefaultCatalog()
+	reg, err := workload.PaperRegistry(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a9, _ := cat.Lookup("A9")
+	k10, _ := cat.Lookup("K10")
+	configs, err := cluster.EnumerateAll([]cluster.Limit{
+		{Type: a9, MaxNodes: 8},
+		{Type: k10, MaxNodes: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return configs, wl
+}
+
+// TestEvaluateParallelMatchesSequential: same points, same order, for
+// any worker count.
+func TestEvaluateParallelMatchesSequential(t *testing.T) {
+	configs, wl := benchSpace(t)
+	seq := Evaluate(configs, wl, model.Options{})
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		par := EvaluateParallel(configs, wl, model.Options{}, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d points vs sequential %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i].Config.Key() != seq[i].Config.Key() ||
+				par[i].Time != seq[i].Time || par[i].Energy != seq[i].Energy {
+				t.Fatalf("workers=%d: point %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestFrontierForParallelMatchesSequential: the chunked parallel
+// frontier equals the sequential one.
+func TestFrontierForParallelMatchesSequential(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	reg, err := workload.PaperRegistry(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := reg.Lookup(workload.NameX264)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a9, _ := cat.Lookup("A9")
+	k10, _ := cat.Lookup("K10")
+	limits := []cluster.Limit{
+		{Type: a9, MaxNodes: 6},
+		{Type: k10, MaxNodes: 3},
+	}
+	seq, err := FrontierFor(limits, wl, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := FrontierForParallel(limits, wl, model.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Config.Key() != par[i].Config.Key() {
+			t.Errorf("frontier point %d differs: %s vs %s", i, seq[i].Config, par[i].Config)
+		}
+	}
+}
+
+func TestEvaluateParallelEmpty(t *testing.T) {
+	_, wl := benchSpace(t)
+	if out := EvaluateParallel(nil, wl, model.Options{}, 4); out != nil {
+		t.Error("empty input should give nil")
+	}
+}
+
+// BenchmarkEvaluateSequential/Parallel quantify the worker-pool speedup
+// on the model fan-out.
+func BenchmarkEvaluateSequential(b *testing.B) {
+	configs, wl := benchSpace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(configs, wl, model.Options{})
+	}
+}
+
+func BenchmarkEvaluateParallel(b *testing.B) {
+	configs, wl := benchSpace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvaluateParallel(configs, wl, model.Options{}, 0)
+	}
+}

@@ -1,0 +1,151 @@
+// Package pareto computes the energy-deadline Pareto frontier over a set
+// of cluster configurations (the authors' prior ICPP'14 result that
+// Section III-D builds on): among all configurations that can run a
+// workload, the frontier holds those for which no other configuration is
+// both faster and more energy efficient.
+package pareto
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Point is one evaluated configuration.
+type Point struct {
+	Config cluster.Config
+	Time   units.Seconds
+	Energy units.Joules
+	// Result retains the full model output for downstream analysis.
+	Result model.Result
+}
+
+// dominates reports whether a is at least as good as b on both axes and
+// strictly better on one.
+func dominates(a, b Point) bool {
+	if a.Time > b.Time || a.Energy > b.Energy {
+		return false
+	}
+	return a.Time < b.Time || a.Energy < b.Energy
+}
+
+// Frontier extracts the Pareto-optimal subset of points, sorted by
+// ascending time (and therefore descending energy along the frontier).
+// Duplicate (time, energy) pairs keep their first representative.
+func Frontier(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return sorted[i].Energy < sorted[j].Energy
+	})
+	var out []Point
+	bestEnergy := units.Joules(0)
+	lastTime := units.Seconds(-1)
+	for _, p := range sorted {
+		if len(out) == 0 {
+			out = append(out, p)
+			bestEnergy = p.Energy
+			lastTime = p.Time
+			continue
+		}
+		if p.Time == lastTime {
+			// Same time, worse or equal energy: dominated or duplicate.
+			continue
+		}
+		// Require a real energy improvement: configurations that differ
+		// only by floating-point noise (e.g. 27 vs 32 identical nodes,
+		// whose per-unit energies are mathematically equal) must not
+		// ride onto the frontier through 1-ulp differences.
+		if float64(p.Energy) < float64(bestEnergy)*(1-1e-9) {
+			out = append(out, p)
+			bestEnergy = p.Energy
+			lastTime = p.Time
+		}
+	}
+	return out
+}
+
+// Evaluate runs the model over every configuration and returns the
+// evaluated points, skipping configurations the workload cannot run on
+// (missing demand vectors).
+func Evaluate(configs []cluster.Config, wl *workload.Profile, opt model.Options) []Point {
+	out := make([]Point, 0, len(configs))
+	for _, cfg := range configs {
+		res, err := model.Evaluate(cfg, wl, opt)
+		if err != nil {
+			continue
+		}
+		out = append(out, Point{Config: cfg, Time: res.Time, Energy: res.Energy, Result: res})
+	}
+	return out
+}
+
+// FrontierFor is the common pipeline: enumerate limits, evaluate the
+// workload, return the frontier.
+func FrontierFor(limits []cluster.Limit, wl *workload.Profile, opt model.Options) ([]Point, error) {
+	configs, err := cluster.EnumerateAll(limits)
+	if err != nil {
+		return nil, err
+	}
+	return Frontier(Evaluate(configs, wl, opt)), nil
+}
+
+// SweetRegion returns the frontier points meeting a deadline within an
+// energy budget — the paper's "sweet region" of configurations that
+// "meet a given execution time deadline with minimum energy". A zero
+// deadline or budget disables that constraint.
+func SweetRegion(frontier []Point, deadline units.Seconds, budget units.Joules) []Point {
+	var out []Point
+	for _, p := range frontier {
+		if deadline > 0 && p.Time > deadline {
+			continue
+		}
+		if budget > 0 && p.Energy > budget {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// MinEDP returns the point minimizing the energy-delay product — the
+// scalar pick on the frontier when no explicit deadline is given. Every
+// EDP-optimal configuration lies on the Pareto frontier, so calling this
+// on the frontier loses nothing.
+func MinEDP(points []Point) (Point, bool) {
+	best := Point{}
+	found := false
+	for _, p := range points {
+		if !found || p.Result.EDP() < best.Result.EDP() {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// MinEnergyUnderDeadline returns the frontier point with the lowest
+// energy among those meeting the deadline, and ok=false if none does.
+func MinEnergyUnderDeadline(frontier []Point, deadline units.Seconds) (Point, bool) {
+	best := Point{}
+	found := false
+	for _, p := range frontier {
+		if p.Time > deadline {
+			continue
+		}
+		if !found || p.Energy < best.Energy {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,197 @@
+package powermeter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+func constantTrace(t *testing.T, p units.Watts, dur float64) *Trace {
+	t.Helper()
+	tr := &Trace{}
+	if err := tr.Append(Segment{Start: 0, End: dur, Power: p}); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTraceAppendValidation(t *testing.T) {
+	tr := &Trace{}
+	if err := tr.Append(Segment{Start: 1, End: 0, Power: 1}); err == nil {
+		t.Error("inverted segment accepted")
+	}
+	if err := tr.Append(Segment{Start: 0, End: 1, Power: -1}); err == nil {
+		t.Error("negative power accepted")
+	}
+	if err := tr.Append(Segment{Start: 0, End: 1, Power: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(Segment{Start: 0.5, End: 2, Power: 1}); err == nil {
+		t.Error("overlapping segment accepted")
+	}
+	if err := tr.Append(Segment{Start: 1.5, End: 2, Power: 2}); err != nil {
+		t.Errorf("gapped segment rejected: %v", err)
+	}
+}
+
+func TestTraceAt(t *testing.T) {
+	tr := &Trace{}
+	if err := tr.Append(Segment{Start: 0, End: 1, Power: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(Segment{Start: 2, End: 3, Power: 20}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    float64
+		want units.Watts
+	}{{0, 10}, {0.5, 10}, {1.5, 0}, {2.5, 20}, {5, 0}}
+	for _, c := range cases {
+		if got := tr.At(c.x); got != c.want {
+			t.Errorf("At(%g) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if tr.Duration() != 3 {
+		t.Errorf("duration = %g, want 3", tr.Duration())
+	}
+}
+
+func TestTrueEnergy(t *testing.T) {
+	tr := &Trace{}
+	if err := tr.Append(Segment{Start: 0, End: 2, Power: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(Segment{Start: 2, End: 3, Power: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.TrueEnergy(); math.Abs(float64(got)-50) > 1e-12 {
+		t.Errorf("true energy = %v, want 50 J", got)
+	}
+}
+
+func TestPerfectMeterExactOnConstant(t *testing.T) {
+	tr := constantTrace(t, 42, 10)
+	m := Meter{SampleRate: 100}
+	meas, err := m.Measure(tr, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(float64(meas.Energy), 420) > 1e-9 {
+		t.Errorf("perfect meter energy = %v, want 420 J", meas.Energy)
+	}
+	if meas.Samples != 1000 {
+		t.Errorf("samples = %d, want 1000", meas.Samples)
+	}
+}
+
+func TestMeterGainError(t *testing.T) {
+	tr := constantTrace(t, 100, 10)
+	m := Meter{SampleRate: 100, GainError: 0.01}
+	meas, err := m.Measure(tr, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(float64(meas.Energy), 1010) > 1e-9 {
+		t.Errorf("energy with +1%% gain = %v, want 1010 J", meas.Energy)
+	}
+}
+
+func TestMeterNoiseAveragesOut(t *testing.T) {
+	tr := constantTrace(t, 50, 100)
+	m := Meter{SampleRate: 10, NoiseStdDev: 1}
+	meas, err := m.Measure(tr, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 samples of sd=1 noise: mean power error ~ 1/sqrt(1000).
+	if math.Abs(float64(meas.MeanPower)-50) > 0.2 {
+		t.Errorf("mean power = %v, want ~50 W", meas.MeanPower)
+	}
+}
+
+func TestMeterQuantization(t *testing.T) {
+	tr := constantTrace(t, 10.237, 1)
+	m := Meter{SampleRate: 10, Resolution: 0.1}
+	meas, err := m.Measure(tr, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every sample snaps to 10.2.
+	if stats.RelErr(float64(meas.MeanPower), 10.2) > 1e-9 {
+		t.Errorf("quantized mean = %v, want 10.2", meas.MeanPower)
+	}
+}
+
+func TestMeterDeterminism(t *testing.T) {
+	tr := constantTrace(t, 50, 10)
+	m := DefaultMeter()
+	a, err := m.Measure(tr, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Measure(tr, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy {
+		t.Error("same seed produced different measurements")
+	}
+	c, err := m.Measure(tr, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy == c.Energy {
+		t.Error("different seeds produced identical noisy measurements")
+	}
+}
+
+func TestMeterErrors(t *testing.T) {
+	tr := constantTrace(t, 1, 1)
+	if _, err := (Meter{SampleRate: 0}).Measure(tr, 1, 1); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	if _, err := (Meter{SampleRate: 10}).Measure(tr, 0, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestAggregateSumsSources(t *testing.T) {
+	a := constantTrace(t, 10, 5)
+	b := constantTrace(t, 20, 5)
+	agg := Aggregate{a, b}
+	if got := agg.At(2.5); got != 30 {
+		t.Errorf("aggregate At = %v, want 30", got)
+	}
+	m := Meter{SampleRate: 100}
+	meas, err := m.Measure(agg, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(float64(meas.Energy), 150) > 1e-9 {
+		t.Errorf("aggregate energy = %v, want 150 J", meas.Energy)
+	}
+}
+
+// TestMeterUnbiasedProperty: for random constant traces, the default
+// meter's reading stays within its error budget.
+func TestMeterUnbiasedProperty(t *testing.T) {
+	f := func(pRaw uint16, seed uint64) bool {
+		p := units.Watts(float64(pRaw%5000)/10 + 1)
+		tr := &Trace{}
+		if err := tr.Append(Segment{Start: 0, End: 20, Power: p}); err != nil {
+			return false
+		}
+		meas, err := DefaultMeter().Measure(tr, 20, seed)
+		if err != nil {
+			return false
+		}
+		// 0.2% gain + noise floor.
+		return stats.RelErr(float64(meas.MeanPower), float64(p)) < 0.01+0.2/float64(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestBatchReducesToMD1(t *testing.T) {
+	q, err := NewBatchMD1FromUtilization(0.6, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md1, ok := q.AsMD1()
+	if !ok {
+		t.Fatal("batch=1 should expose an M/D/1 view")
+	}
+	if math.Abs(q.MeanResponse()-md1.MeanResponse()) > 1e-12 {
+		t.Errorf("batch=1 mean response %g != M/D/1 %g", q.MeanResponse(), md1.MeanResponse())
+	}
+	// And the batch simulation agrees with the M/D/1 simulation's mean.
+	sim, err := q.Simulate(SimOptions{Jobs: 300000, Warmup: 5000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(sim.MeanResponse, md1.MeanResponse()) > 0.03 {
+		t.Errorf("batch sim mean %g vs analytic %g", sim.MeanResponse, md1.MeanResponse())
+	}
+}
+
+func TestBatchMeanResponseMatchesSimulation(t *testing.T) {
+	for _, batch := range []int{2, 4, 8} {
+		q, err := NewBatchMD1FromUtilization(0.7, batch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := q.Simulate(SimOptions{Jobs: 400000, Warmup: 8000, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.RelErr(sim.MeanResponse, q.MeanResponse()) > 0.03 {
+			t.Errorf("B=%d: sim mean %g vs analytic %g", batch, sim.MeanResponse, q.MeanResponse())
+		}
+	}
+}
+
+// TestBatchingHurtsLatency: at equal utilization, larger batches inflate
+// both mean and tail response — the cost of the paper's batch submission
+// pattern.
+func TestBatchingHurtsLatency(t *testing.T) {
+	prevMean, prevP95 := 0.0, 0.0
+	for _, batch := range []int{1, 2, 4, 8, 16} {
+		q, err := NewBatchMD1FromUtilization(0.6, batch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := q.MeanResponse()
+		if mean <= prevMean {
+			t.Errorf("B=%d: mean %g not above B/2's %g", batch, mean, prevMean)
+		}
+		p95, err := q.ResponsePercentile(95, SimOptions{Jobs: 200000, Warmup: 4000, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p95 <= prevP95 {
+			t.Errorf("B=%d: p95 %g not above B/2's %g", batch, p95, prevP95)
+		}
+		prevMean, prevP95 = mean, p95
+	}
+}
+
+func TestBatchUtilizationIdentity(t *testing.T) {
+	q, err := NewBatchMD1FromUtilization(0.45, 6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.Rho()-0.45) > 1e-12 {
+		t.Errorf("rho = %g, want 0.45", q.Rho())
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	if _, err := NewBatchMD1FromUtilization(0.5, 0, 1); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := NewBatchMD1FromUtilization(1.0, 2, 1); err == nil {
+		t.Error("rho 1 accepted")
+	}
+	if _, err := NewBatchMD1FromUtilization(0.5, 2, 0); err == nil {
+		t.Error("zero service accepted")
+	}
+	q := BatchMD1{BatchRate: 1, Batch: 2, D: 1} // rho = 2
+	if err := q.Validate(); err == nil {
+		t.Error("unstable batch queue accepted")
+	}
+	good := BatchMD1{BatchRate: 0.1, Batch: 2, D: 1}
+	if _, err := good.Simulate(SimOptions{Jobs: 0}); err == nil {
+		t.Error("zero jobs accepted")
+	}
+	if _, ok := good.AsMD1(); ok {
+		t.Error("batch=2 exposed an M/D/1 view")
+	}
+}

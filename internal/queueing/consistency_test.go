@@ -1,0 +1,86 @@
+package queueing
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestMeanWaitFromCDFIntegral cross-checks the Pollaczek-Khinchine mean
+// against the tail integral of Crommelin's CDF: E[W] = int_0^inf
+// (1 - F(t)) dt. Two independent derivations of the same queue must
+// agree, pinning both implementations at once.
+func TestMeanWaitFromCDFIntegral(t *testing.T) {
+	for _, rho := range []float64{0.3, 0.6, 0.8} {
+		q := MD1{Lambda: rho, D: 1}
+		// The tail decays geometrically; integrate far enough that the
+		// truncation error is negligible at these utilizations.
+		upper := 40 * q.MeanWait()
+		if upper < 20 {
+			upper = 20
+		}
+		integral := stats.IntegrateFunc(func(t float64) float64 {
+			return 1 - q.WaitCDF(t)
+		}, 0, upper, 2000)
+		want := q.MeanWait()
+		if stats.RelErr(integral, want) > 0.01 {
+			t.Errorf("rho=%g: tail integral %g vs P-K mean %g", rho, integral, want)
+		}
+	}
+}
+
+// TestPercentileInvertsCDF: WaitPercentile and WaitCDF are inverses on
+// their shared domain.
+func TestPercentileInvertsCDF(t *testing.T) {
+	q := MD1{Lambda: 0.375, D: 2} // rho = 0.75
+	for _, p := range []float64{40, 60, 80, 95, 99} {
+		w, err := q.WaitPercentile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := q.WaitCDF(w); stats.RelErr(got, p/100) > 1e-6 {
+			t.Errorf("CDF(percentile(%g)) = %g", p, got)
+		}
+	}
+}
+
+// TestResponseCDFShift: the sojourn CDF is the waiting CDF shifted by
+// the deterministic service time, zero below it.
+func TestResponseCDFShift(t *testing.T) {
+	q := MD1{Lambda: 0.3, D: 2} // rho = 0.6
+	if got := q.ResponseCDF(1.9); got != 0 {
+		t.Errorf("P(R<=1.9) = %g, want 0 below the service time", got)
+	}
+	if got, want := q.ResponseCDF(2), q.WaitCDF(0); got != want {
+		t.Errorf("P(R<=D) = %g, want P(W<=0) = %g", got, want)
+	}
+	p95, err := q.ResponsePercentile(95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.ResponseCDF(p95); stats.RelErr(got, 0.95) > 1e-6 {
+		t.Errorf("CDF(p95) = %g", got)
+	}
+}
+
+// TestPercentileBelowAtom: percentiles inside the P(W=0) = 1-rho atom
+// are exactly zero wait.
+func TestPercentileBelowAtom(t *testing.T) {
+	q := MD1{Lambda: 0.4, D: 1} // P(W=0) = 0.6
+	for _, p := range []float64{0, 10, 30, 59} {
+		w, err := q.WaitPercentile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != 0 {
+			t.Errorf("p%g wait = %g, want 0 (inside the idle atom)", p, w)
+		}
+	}
+	w, err := q.WaitPercentile(70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w <= 0 {
+		t.Errorf("p70 wait = %g, want > 0", w)
+	}
+}

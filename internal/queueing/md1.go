@@ -1,0 +1,306 @@
+// Package queueing implements the M/D/1 queueing model of Section II-B:
+// jobs arrive Poisson with rate λ_job, are served in FIFO order by the
+// cluster with a deterministic service time T_P, and the cluster
+// utilization is U = T_P·λ_job. The package provides the exact
+// waiting-time distribution (Crommelin's formula), response-time
+// percentiles, a Lindley-recursion Monte-Carlo simulator used for
+// cross-validation, and an M/M/1 reference model.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"sync"
+)
+
+// MD1 is an M/D/1 queue: Poisson arrivals at rate Lambda, deterministic
+// service time D.
+type MD1 struct {
+	// Lambda is the arrival rate (jobs per second).
+	Lambda float64
+	// D is the deterministic service time (seconds).
+	D float64
+}
+
+// NewMD1FromUtilization builds the queue for a target utilization
+// rho = Lambda*D, the way the paper sweeps utilization ("we simulate the
+// impact of utilization on the server or cluster by varying the arrival
+// rate").
+func NewMD1FromUtilization(rho, serviceTime float64) (MD1, error) {
+	if serviceTime <= 0 {
+		return MD1{}, errors.New("queueing: service time must be positive")
+	}
+	if rho < 0 || rho >= 1 {
+		return MD1{}, fmt.Errorf("queueing: utilization %g outside [0, 1)", rho)
+	}
+	return MD1{Lambda: rho / serviceTime, D: serviceTime}, nil
+}
+
+// Validate checks queue parameters for stability.
+func (q MD1) Validate() error {
+	if q.D <= 0 {
+		return errors.New("queueing: service time must be positive")
+	}
+	if q.Lambda < 0 {
+		return errors.New("queueing: negative arrival rate")
+	}
+	if q.Rho() >= 1 {
+		return fmt.Errorf("queueing: unstable queue, rho = %g >= 1", q.Rho())
+	}
+	return nil
+}
+
+// Rho returns the utilization Lambda*D.
+func (q MD1) Rho() float64 { return q.Lambda * q.D }
+
+// MeanWait returns the Pollaczek-Khinchine mean queueing delay
+// rho*D / (2*(1-rho)).
+func (q MD1) MeanWait() float64 {
+	rho := q.Rho()
+	return rho * q.D / (2 * (1 - rho))
+}
+
+// MeanResponse returns the mean sojourn time (wait plus service).
+func (q MD1) MeanResponse() float64 { return q.MeanWait() + q.D }
+
+// crommelinBasePrec is the minimum big.Float mantissa precision for the
+// alternating Crommelin sum. The term magnitudes grow like e^(2*lambda*t)
+// while the result stays in [0,1], so the working precision must scale
+// with lambda*t; crommelinPrec computes the required bits.
+const crommelinBasePrec = 256
+
+// crommelinMaxPrec caps the working precision (and therefore the largest
+// lambda*t the exact formula serves; beyond it the CDF is within 1e-12
+// of its asymptotic tail for every utilization the repository sweeps).
+const crommelinMaxPrec = 1 << 13
+
+// crommelinPrec returns the working precision for arguments lambda and t:
+// enough bits to absorb e^(2*lambda*t) cancellation plus guard bits.
+func crommelinPrec(lambda, t float64) uint {
+	// log2(e^(2*lambda*t)) = 2*lambda*t/ln2 ≈ 2.885*lambda*t bits.
+	need := uint(3*lambda*t) + crommelinBasePrec
+	if need > crommelinMaxPrec {
+		return crommelinMaxPrec
+	}
+	// Round up to a multiple of 64 so repeated queries share precisions.
+	return (need + 63) &^ 63
+}
+
+// WaitCDF returns P(W <= t), the probability an arriving job waits at
+// most t before service begins, by Crommelin's classical formula
+//
+//	P(W <= t) = (1-rho) * sum_{j=0}^{k} [lambda(jD - t)]^j / j! * e^{-lambda(jD - t)}
+//
+// with k = floor(t/D). The terms alternate in sign and grow large before
+// cancelling, so the sum is evaluated in extended precision.
+func (q MD1) WaitCDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	rho := q.Rho()
+	if rho >= 1 {
+		return 0
+	}
+	if q.Lambda == 0 {
+		return 1
+	}
+	k := int(math.Floor(t / q.D))
+	prec := crommelinPrec(q.Lambda, t)
+	// Every intermediate must be formed in extended precision from the
+	// exactly-embedded float64 inputs. Forming x_j = lambda*(jD - t) in
+	// float64 first perturbs each alternating term by ~1e-16 relative,
+	// which the huge term magnitudes amplify into O(1) error in the sum.
+	lb := new(big.Float).SetPrec(prec).SetFloat64(q.Lambda)
+	db := new(big.Float).SetPrec(prec).SetFloat64(q.D)
+	tb := new(big.Float).SetPrec(prec).SetFloat64(t)
+	sum := new(big.Float).SetPrec(prec)
+	term := new(big.Float).SetPrec(prec)
+	xb := new(big.Float).SetPrec(prec)
+	for j := 0; j <= k; j++ {
+		// xb = lambda * (j*D - t), <= 0 for j <= k.
+		xb.SetInt64(int64(j))
+		xb.Mul(xb, db)
+		xb.Sub(xb, tb)
+		xb.Mul(xb, lb)
+		// term = xb^j / j! * e^{-xb}
+		term.SetFloat64(1)
+		for i := 1; i <= j; i++ {
+			term.Mul(term, xb)
+			term.Quo(term, new(big.Float).SetPrec(prec).SetInt64(int64(i)))
+		}
+		neg := new(big.Float).SetPrec(prec).Neg(xb)
+		term.Mul(term, bigExpBig(neg, prec))
+		sum.Add(sum, term)
+	}
+	sum.Mul(sum, new(big.Float).SetPrec(prec).SetFloat64(1-rho))
+	v, _ := sum.Float64()
+	// Round-off can push the exact result a hair outside [0,1].
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ln2Cache memoizes ln 2 at the highest precision requested so far. The
+// argument reduction in bigExpBig must happen in extended precision:
+// reducing with float64 ln2 caps the whole CDF at float64 accuracy,
+// which the alternating sum then amplifies catastrophically for large t.
+var ln2Cache struct {
+	mu   sync.Mutex
+	prec uint
+	val  *big.Float
+}
+
+// bigLn2 returns ln 2 accurate to at least prec bits, computed from the
+// fast-converging series ln 2 = 2*atanh(1/3) = 2*sum (1/3)^(2k+1)/(2k+1),
+// which gains ~3.17 bits per term.
+func bigLn2(prec uint) *big.Float {
+	ln2Cache.mu.Lock()
+	defer ln2Cache.mu.Unlock()
+	if ln2Cache.val != nil && ln2Cache.prec >= prec {
+		return ln2Cache.val
+	}
+	work := prec + 32
+	sum := new(big.Float).SetPrec(work)
+	x := new(big.Float).SetPrec(work).SetFloat64(1.0 / 3.0)
+	x.Quo(new(big.Float).SetPrec(work).SetInt64(1), new(big.Float).SetPrec(work).SetInt64(3))
+	nine := new(big.Float).SetPrec(work).SetInt64(9)
+	pow := new(big.Float).SetPrec(work).Copy(x) // (1/3)^(2k+1)
+	term := new(big.Float).SetPrec(work)
+	// Each term shrinks by 9x (3.17 bits); iterate until below precision.
+	iters := int(work/3) + 4
+	for k := 0; k < iters; k++ {
+		term.Quo(pow, new(big.Float).SetPrec(work).SetInt64(int64(2*k+1)))
+		sum.Add(sum, term)
+		pow.Quo(pow, nine)
+	}
+	sum.Mul(sum, new(big.Float).SetPrec(work).SetInt64(2))
+	ln2Cache.prec = prec
+	ln2Cache.val = sum
+	return sum
+}
+
+// bigExpBig computes e^x at the given precision via argument reduction
+// and Taylor series: x = n*ln2 + r with |r| <= ln2/2, e^x = 2^n * e^r.
+func bigExpBig(x *big.Float, prec uint) *big.Float {
+	if x.Sign() == 0 {
+		return new(big.Float).SetPrec(prec).SetFloat64(1)
+	}
+	xf, _ := x.Float64()
+	n := int(math.Round(xf / math.Ln2))
+	rb := new(big.Float).SetPrec(prec).SetInt64(int64(n))
+	rb.Mul(rb, bigLn2(prec))
+	rb.Sub(x, rb) // r = x - n*ln2, |r| <= ~0.35
+	// Taylor series for e^r: term k contributes ~|r|^k/k!; stop once the
+	// term cannot affect the result at this precision.
+	sum := new(big.Float).SetPrec(prec).SetFloat64(1)
+	term := new(big.Float).SetPrec(prec).SetFloat64(1)
+	// |r| <= 0.35 shrinks terms by >= ~1.5 bits plus log2(k) each step;
+	// prec/1.4 iterations are always enough.
+	iters := int(prec/2) + 16
+	for i := 1; i <= iters; i++ {
+		term.Mul(term, rb)
+		term.Quo(term, new(big.Float).SetPrec(prec).SetInt64(int64(i)))
+		sum.Add(sum, term)
+		if term.MantExp(nil) < -int(prec)-8 && term.Sign() != 0 {
+			break
+		}
+		if term.Sign() == 0 {
+			break
+		}
+	}
+	// Scale by 2^n.
+	mant := new(big.Float).SetPrec(prec)
+	exp := sum.MantExp(mant)
+	return sum.SetMantExp(mant, exp+n)
+}
+
+// WaitPercentile returns the p-th percentile (p in [0,100)) of the
+// waiting time, found by bracketing and bisecting the monotone CDF.
+func (q MD1) WaitPercentile(p float64) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if p < 0 || p >= 100 {
+		return 0, fmt.Errorf("queueing: percentile %g outside [0, 100)", p)
+	}
+	target := p / 100
+	if q.WaitCDF(0) >= target {
+		return 0, nil
+	}
+	// Bracket: grow the upper bound geometrically from the mean wait.
+	hi := q.MeanWait()
+	if hi <= 0 {
+		hi = q.D
+	}
+	for i := 0; q.WaitCDF(hi) < target; i++ {
+		hi *= 2
+		if i > 60 {
+			return 0, errors.New("queueing: percentile bracket failed to converge")
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 100 && hi-lo > 1e-12*math.Max(1, hi); i++ {
+		mid := (lo + hi) / 2
+		if q.WaitCDF(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// ResponsePercentile returns the p-th percentile of the sojourn time.
+// With deterministic service the sojourn is wait + D exactly.
+func (q MD1) ResponsePercentile(p float64) (float64, error) {
+	w, err := q.WaitPercentile(p)
+	if err != nil {
+		return 0, err
+	}
+	return w + q.D, nil
+}
+
+// ResponseCDF returns P(R <= t) for the sojourn time R = W + D: zero
+// below the service time, then the shifted waiting-time CDF.
+func (q MD1) ResponseCDF(t float64) float64 {
+	if t < q.D {
+		return 0
+	}
+	return q.WaitCDF(t - q.D)
+}
+
+// MM1 is an M/M/1 reference queue: Poisson arrivals, exponential service
+// with mean D. Used by the ablation benches to show the sensitivity of
+// the paper's percentile analysis to the deterministic-service
+// assumption.
+type MM1 struct {
+	Lambda float64
+	D      float64 // mean service time
+}
+
+// Rho returns the utilization.
+func (q MM1) Rho() float64 { return q.Lambda * q.D }
+
+// MeanResponse returns D/(1-rho).
+func (q MM1) MeanResponse() float64 {
+	return q.D / (1 - q.Rho())
+}
+
+// ResponsePercentile returns the p-th percentile of the M/M/1 sojourn
+// time, which is exponential with rate (1-rho)/D.
+func (q MM1) ResponsePercentile(p float64) (float64, error) {
+	rho := q.Rho()
+	if rho >= 1 || q.D <= 0 {
+		return 0, errors.New("queueing: unstable M/M/1")
+	}
+	if p < 0 || p >= 100 {
+		return 0, fmt.Errorf("queueing: percentile %g outside [0, 100)", p)
+	}
+	return -math.Log(1-p/100) * q.D / (1 - rho), nil
+}

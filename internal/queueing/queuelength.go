@@ -1,0 +1,89 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+)
+
+// MeanQueueLength returns the Pollaczek-Khinchine mean number of jobs
+// waiting (excluding the one in service): rho^2 / (2(1-rho)).
+func (q MD1) MeanQueueLength() float64 {
+	rho := q.Rho()
+	return rho * rho / (2 * (1 - rho))
+}
+
+// MeanNumberInSystem returns the mean number of jobs in the system
+// (waiting plus in service): rho + rho^2/(2(1-rho)). By Little's law it
+// equals Lambda times MeanResponse.
+func (q MD1) MeanNumberInSystem() float64 {
+	return q.Rho() + q.MeanQueueLength()
+}
+
+// QueueLengthDist returns P(N = j) for j = 0..n, the stationary
+// number-in-system distribution seen by a Poisson arrival (PASTA), via
+// the embedded Markov chain at departure epochs:
+//
+//	pi_0     = 1 - rho
+//	pi_{j+1} = ( pi_j - pi_0*a_j - sum_{k=1}^{j} pi_k*a_{j-k+1} ) / a_0
+//
+// where a_k = e^{-rho} rho^k / k! is the probability of k arrivals
+// during one deterministic service.
+func (q MD1) QueueLengthDist(n int) ([]float64, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, errors.New("queueing: negative distribution length")
+	}
+	rho := q.Rho()
+	// Arrival-count probabilities a_0..a_n.
+	a := make([]float64, n+2)
+	a[0] = math.Exp(-rho)
+	for k := 1; k < len(a); k++ {
+		a[k] = a[k-1] * rho / float64(k)
+	}
+	pi := make([]float64, n+1)
+	pi[0] = 1 - rho
+	for j := 0; j < n; j++ {
+		sum := pi[j] - pi[0]*a[j]
+		for k := 1; k <= j; k++ {
+			sum -= pi[k] * a[j-k+1]
+		}
+		v := sum / a[0]
+		// The recursion's subtractions can leave tiny negative residue
+		// in the far tail; clamp to keep the output a distribution.
+		if v < 0 {
+			v = 0
+		}
+		pi[j+1] = v
+	}
+	return pi, nil
+}
+
+// QueueLengthQuantile returns the smallest j with P(N <= j) >= p/100.
+// It grows the distribution until the quantile is bracketed.
+func (q MD1) QueueLengthQuantile(p float64) (int, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if p < 0 || p >= 100 {
+		return 0, errors.New("queueing: quantile out of range")
+	}
+	target := p / 100
+	n := 16
+	for iter := 0; iter < 20; iter++ {
+		dist, err := q.QueueLengthDist(n)
+		if err != nil {
+			return 0, err
+		}
+		cum := 0.0
+		for j, v := range dist {
+			cum += v
+			if cum >= target {
+				return j, nil
+			}
+		}
+		n *= 2
+	}
+	return 0, errors.New("queueing: quantile did not converge")
+}

@@ -1,0 +1,123 @@
+package queueing
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// SimOptions controls the Monte-Carlo queue simulation.
+type SimOptions struct {
+	// Jobs is the number of simulated arrivals.
+	Jobs int
+	// Warmup discards the first arrivals so percentiles reflect steady
+	// state rather than the empty initial queue.
+	Warmup int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// DefaultSimOptions returns settings adequate for 95th-percentile
+// estimates at moderate utilization.
+func DefaultSimOptions() SimOptions {
+	return SimOptions{Jobs: 200000, Warmup: 5000, Seed: 1}
+}
+
+// SimResult holds the simulated sojourn-time distribution.
+type SimResult struct {
+	// Responses are the retained sojourn times, sorted ascending.
+	Responses []float64
+	// MeanResponse is the average over retained jobs.
+	MeanResponse float64
+}
+
+// Percentile returns the p-th percentile of the simulated sojourn time.
+func (r SimResult) Percentile(p float64) (float64, error) {
+	return stats.PercentileSorted(r.Responses, p)
+}
+
+// SimulateMD1 runs a Lindley-recursion simulation of the M/D/1 queue:
+// W_{n+1} = max(0, W_n + D - A_n), where A_n is the exponential
+// inter-arrival gap. It is the cross-check for Crommelin's formula and
+// the fallback for regimes outside its numerical comfort zone.
+func SimulateMD1(q MD1, opt SimOptions) (SimResult, error) {
+	if err := q.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if opt.Jobs <= 0 {
+		return SimResult{}, errors.New("queueing: simulation needs at least one job")
+	}
+	if opt.Warmup >= opt.Jobs {
+		return SimResult{}, errors.New("queueing: warmup must leave jobs to measure")
+	}
+	rng := stats.NewRNG(opt.Seed)
+	kept := make([]float64, 0, opt.Jobs-opt.Warmup)
+	var sum stats.KahanSum
+	w := 0.0
+	for i := 0; i < opt.Jobs; i++ {
+		if i >= opt.Warmup {
+			resp := w + q.D
+			kept = append(kept, resp)
+			sum.Add(resp)
+		}
+		var gap float64
+		if q.Lambda > 0 {
+			gap = rng.ExpFloat64(q.Lambda)
+		} else {
+			// Zero arrival rate: a single job never queues.
+			gap = 0
+			w = 0
+			continue
+		}
+		w += q.D - gap
+		if w < 0 {
+			w = 0
+		}
+	}
+	sort.Float64s(kept)
+	return SimResult{
+		Responses:    kept,
+		MeanResponse: sum.Sum() / float64(len(kept)),
+	}, nil
+}
+
+// SimulateGG1 runs a Lindley-recursion simulation with caller-supplied
+// inter-arrival and service samplers, for sensitivity studies beyond
+// M/D/1 (e.g. service-time jitter from the cluster simulator).
+func SimulateGG1(arrival, service func(*stats.RNG) float64, opt SimOptions) (SimResult, error) {
+	if opt.Jobs <= 0 {
+		return SimResult{}, errors.New("queueing: simulation needs at least one job")
+	}
+	if opt.Warmup >= opt.Jobs {
+		return SimResult{}, errors.New("queueing: warmup must leave jobs to measure")
+	}
+	rng := stats.NewRNG(opt.Seed)
+	kept := make([]float64, 0, opt.Jobs-opt.Warmup)
+	var sum stats.KahanSum
+	w := 0.0
+	for i := 0; i < opt.Jobs; i++ {
+		s := service(rng)
+		if s < 0 {
+			return SimResult{}, errors.New("queueing: negative service time sampled")
+		}
+		if i >= opt.Warmup {
+			resp := w + s
+			kept = append(kept, resp)
+			sum.Add(resp)
+		}
+		a := arrival(rng)
+		if a < 0 {
+			return SimResult{}, errors.New("queueing: negative inter-arrival sampled")
+		}
+		w += s - a
+		if w < 0 {
+			w = 0
+		}
+	}
+	sort.Float64s(kept)
+	return SimResult{
+		Responses:    kept,
+		MeanResponse: sum.Sum() / float64(len(kept)),
+	}, nil
+}

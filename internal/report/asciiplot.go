@@ -1,0 +1,142 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PlotOptions sizes and scales an ASCII plot.
+type PlotOptions struct {
+	// Width and Height are the plot area in characters (defaults 72x20).
+	Width, Height int
+	// LogY plots the y axis logarithmically (all values must be > 0).
+	LogY bool
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+// seriesMarks are the glyphs assigned to series in order.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// RenderASCII draws the series as a character plot — the terminal-first
+// rendering of the paper's figures used by cmd/reproduce's -ascii mode
+// and handy in CI logs where .dat files cannot be eyeballed.
+func RenderASCII(w io.Writer, series []Series, opt PlotOptions) error {
+	if len(series) == 0 {
+		return errors.New("report: no series to plot")
+	}
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	if width < 8 || height < 4 {
+		return errors.New("report: plot area too small")
+	}
+
+	// Bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if opt.LogY && y <= 0 {
+				return fmt.Errorf("report: log plot with non-positive value %g in %q", y, s.Label)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if xmin > xmax || ymin > ymax {
+		return errors.New("report: no finite points to plot")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	ty := func(y float64) float64 {
+		if opt.LogY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	lo, hi := ty(ymin), ty(ymax)
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((ty(y)-lo)/(hi-lo)*float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	// Emit: y labels on the left edge of first/middle/last rows.
+	yVal := func(row int) float64 {
+		frac := float64(height-1-row) / float64(height-1)
+		v := lo + frac*(hi-lo)
+		if opt.LogY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	if opt.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", opt.YLabel); err != nil {
+			return err
+		}
+	}
+	for r := 0; r < height; r++ {
+		label := "          "
+		if r == 0 || r == height-1 || r == height/2 {
+			label = fmt.Sprintf("%9.3g ", yVal(r))
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s%-.4g%s%.4g  %s\n", strings.Repeat(" ", 11), xmin,
+		strings.Repeat(" ", maxInt(1, width-len(fmt.Sprintf("%.4g", xmin))-len(fmt.Sprintf("%.4g", xmax)))),
+		xmax, opt.XLabel); err != nil {
+		return err
+	}
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Label: "ideal", X: []float64{0, 50, 100}, Y: []float64{0, 50, 100}},
+		{Label: "actual", X: []float64{0, 50, 100}, Y: []float64{60, 80, 100}},
+	}
+}
+
+func TestRenderASCIIBasic(t *testing.T) {
+	var b strings.Builder
+	err := RenderASCII(&b, twoSeries(), PlotOptions{Width: 40, Height: 10, XLabel: "util%", YLabel: "power%"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"power%", "util%", "* ideal", "+ actual"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("plot missing %q:\n%s", frag, out)
+		}
+	}
+	// Plot body has exactly Height rows of "|" grid.
+	if got := strings.Count(out, "|"); got != 10 {
+		t.Errorf("plot has %d grid rows, want 10", got)
+	}
+	// Both marks appear in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("marks missing from grid")
+	}
+}
+
+func TestRenderASCIIPositions(t *testing.T) {
+	// A single point at the max of both axes must land in the top-right
+	// corner of the grid; min-min lands bottom-left.
+	var b strings.Builder
+	series := []Series{{Label: "pts", X: []float64{0, 100}, Y: []float64{0, 100}}}
+	if err := RenderASCII(&b, series, PlotOptions{Width: 20, Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(b.String(), "\n")
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l[strings.Index(l, "|")+1:])
+		}
+	}
+	if len(gridLines) != 5 {
+		t.Fatalf("got %d grid lines", len(gridLines))
+	}
+	if gridLines[0][19] != '*' {
+		t.Errorf("top-right not marked:\n%s", b.String())
+	}
+	if gridLines[4][0] != '*' {
+		t.Errorf("bottom-left not marked:\n%s", b.String())
+	}
+}
+
+func TestRenderASCIILogY(t *testing.T) {
+	series := []Series{{Label: "exp", X: []float64{1, 2, 3}, Y: []float64{1, 10, 100}}}
+	var b strings.Builder
+	if err := RenderASCII(&b, series, PlotOptions{Width: 30, Height: 7, LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	// On a log axis the three decades are evenly spaced: the middle
+	// point sits on the middle row.
+	lines := strings.Split(b.String(), "\n")
+	var rows []int
+	for i, l := range lines {
+		if strings.Contains(l, "*") && strings.Contains(l, "|") {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 marked rows, got %d:\n%s", len(rows), b.String())
+	}
+	if rows[1]-rows[0] != rows[2]-rows[1] {
+		t.Errorf("log spacing uneven: %v", rows)
+	}
+	// Log with non-positive values errors.
+	bad := []Series{{Label: "bad", X: []float64{1}, Y: []float64{0}}}
+	if err := RenderASCII(&b, bad, PlotOptions{LogY: true}); err == nil {
+		t.Error("log plot of zero accepted")
+	}
+}
+
+func TestRenderASCIIErrors(t *testing.T) {
+	var b strings.Builder
+	if err := RenderASCII(&b, nil, PlotOptions{}); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := RenderASCII(&b, twoSeries(), PlotOptions{Width: 2, Height: 2}); err == nil {
+		t.Error("tiny plot accepted")
+	}
+	nan := []Series{{Label: "nan", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}}
+	if err := RenderASCII(&b, nan, PlotOptions{}); err == nil {
+		t.Error("all-NaN series accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package simulator
+
+import (
+	"errors"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/powermeter"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// RunIdle simulates a single unloaded node of the given type for the
+// duration and meters it — the paper's "idle system power is measured
+// without any workload" step. The node's device-binning perturbation is
+// applied just as in Run, so characterization sees a specific physical
+// node, not the type's nominal datasheet.
+func RunIdle(node *hardware.NodeType, duration units.Seconds, eff Effects, meter powermeter.Meter, seed uint64) (powermeter.Measurement, error) {
+	if err := node.Validate(); err != nil {
+		return powermeter.Measurement{}, err
+	}
+	if duration <= 0 {
+		return powermeter.Measurement{}, errors.New("simulator: idle run needs positive duration")
+	}
+	rng := stats.NewRNG(seed)
+	g := cluster.FullNodes(node, 1)
+	p := perturbedPower(g, 0, eff)
+	tr := &powermeter.Trace{}
+	if err := tr.Append(powermeter.Segment{Start: 0, End: float64(duration), Power: p.idle}); err != nil {
+		return powermeter.Measurement{}, err
+	}
+	return meter.Measure(tr, float64(duration), rng.Uint64())
+}

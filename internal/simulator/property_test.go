@@ -1,0 +1,63 @@
+package simulator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/powermeter"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// modelEvaluate and perfectMeterQuick keep the property body compact.
+func modelEvaluate(cfg cluster.Config, wl *workload.Profile) (model.Result, error) {
+	return model.Evaluate(cfg, wl, model.Options{})
+}
+
+func perfectMeterQuick() powermeter.Meter {
+	return powermeter.Meter{SampleRate: 1000}
+}
+
+// TestSimulatorEqualsModelForAnyWorkload is the strongest consistency
+// property in the repository: for ANY synthetic workload profile, the
+// discrete-event simulator with all effects disabled reproduces the
+// analytical model exactly (to float tolerance), on a heterogeneous
+// configuration. The model is the simulator's zero-noise limit by
+// construction, and this pins it for the whole demand space, not just
+// the six calibrated paper workloads.
+func TestSimulatorEqualsModelForAnyWorkload(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	a9, err := cat.Lookup("A9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k10, err := cat.Lookup("K10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.MustConfig(cluster.FullNodes(a9, 3), cluster.FullNodes(k10, 2))
+
+	f := func(seed uint64, nA, nK uint8) bool {
+		profiles, err := workload.Generate(cat, workload.DefaultSyntheticSpec(), 1, seed)
+		if err != nil || len(profiles) != 1 {
+			return false
+		}
+		wl := profiles[0]
+		mres, err := modelEvaluate(cfg, wl)
+		if err != nil {
+			return false
+		}
+		sres, err := Run(cfg, wl, Effects{}, perfectMeterQuick(), seed)
+		if err != nil {
+			return false
+		}
+		return stats.RelErr(float64(sres.Time), float64(mres.Time)) < 1e-9 &&
+			stats.RelErr(float64(sres.TrueEnergy), float64(mres.Energy)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,478 @@
+// Package simulator is the measured side of the paper's validation
+// (Table 4): a discrete-event cluster simulator that executes workload
+// profiles on node models with second-order effects the analytical model
+// deliberately ignores — memory contention between cores, data-dependent
+// control flow, OS background noise, DVFS transition cost and network
+// protocol overhead. Per-node power traces feed a simulated wall meter
+// (internal/powermeter) and per-node event counters mirror perf(1)
+// (internal/perfcounter), so the characterization pipeline can be run
+// against the simulator exactly the way the paper ran it against
+// hardware.
+package simulator
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/model"
+	"repro/internal/perfcounter"
+	"repro/internal/powermeter"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Effects controls the second-order behaviours injected on top of the
+// modeled service demands. The zero value disables everything, making
+// the simulator agree with the analytical model to float precision —
+// itself a useful test oracle.
+type Effects struct {
+	// MemContentionPerCore inflates memory time by this fraction per
+	// additional active core sharing the memory controller (the UMA
+	// controller of Section II-D saturates under multi-core load).
+	MemContentionPerCore float64
+	// OSNoiseMean is the mean fractional slowdown from background OS
+	// activity; OSNoiseStdDev is its per-slice jitter.
+	OSNoiseMean, OSNoiseStdDev float64
+	// DVFSTransition is the time lost per node when switching the core
+	// frequency at job start.
+	DVFSTransition units.Seconds
+	// NetOverhead is the protocol framing overhead on NIC transfer time
+	// (TCP/IP headers, interrupts).
+	NetOverhead float64
+	// PowerVariation is the per-node systematic deviation of power
+	// parameters from the type's nominal values (device binning).
+	PowerVariation float64
+	// DeviceSeed identifies the *fleet*: the binning perturbation of a
+	// given physical node (type, index) is a deterministic function of
+	// this seed, so the same node measures the same across runs — the
+	// paper characterizes one node per type and reuses it.
+	DeviceSeed uint64
+	// StragglerProb is the per-node probability of being a straggler
+	// (thermal throttling, failing disk, noisy neighbour). A straggler's
+	// compute and memory run StragglerSlowdown times slower, which the
+	// static rate-matched mapping cannot absorb — the whole job waits.
+	StragglerProb float64
+	// StragglerSlowdown is the straggler's slowdown factor (>= 1).
+	StragglerSlowdown float64
+	// UplinkBandwidth models the shared switch uplink: when the nodes
+	// of one group sharing a switch (NodesPerUplink of them) together
+	// demand more than this, every node's transfer stretches by the
+	// oversubscription factor. Zero disables the effect (the paper's
+	// model assumes uncontended I/O).
+	UplinkBandwidth units.BytesPerSecond
+	// NodesPerUplink is how many nodes of a group share one uplink
+	// (defaults to 8, matching the budget switch model).
+	NodesPerUplink int
+	// Slices is the number of execution phases each node's share is cut
+	// into; more slices give finer power traces and noise mixing.
+	Slices int
+}
+
+// DefaultEffects returns the calibration used for the Table 4
+// reproduction.
+func DefaultEffects() Effects {
+	return Effects{
+		MemContentionPerCore: 0.020,
+		OSNoiseMean:          0.012,
+		OSNoiseStdDev:        0.008,
+		DVFSTransition:       150 * units.Microsecond,
+		NetOverhead:          0.05,
+		PowerVariation:       0.02,
+		DeviceSeed:           42,
+		Slices:               50,
+	}
+}
+
+// NodeRun is the simulated outcome for one node.
+type NodeRun struct {
+	// TypeName identifies the node type.
+	TypeName string
+	// Index is the node's position within the configuration.
+	Index int
+	// Finish is when the node completed its share (seconds).
+	Finish float64
+	// Energy is the node's true (un-metered) energy.
+	Energy units.Joules
+	// Counters are the node's simulated perf counters.
+	Counters perfcounter.Counters
+	// Trace is the node's power trace.
+	Trace *powermeter.Trace
+}
+
+// Result is the outcome of simulating one job on a configuration.
+type Result struct {
+	Config   cluster.Config
+	Workload string
+	// Time is the job makespan (all nodes finished).
+	Time units.Seconds
+	// TrueEnergy integrates the per-node power traces exactly.
+	TrueEnergy units.Joules
+	// Measured is the wall-meter reading over the makespan.
+	Measured powermeter.Measurement
+	// Nodes holds per-node details.
+	Nodes []NodeRun
+	// Events is the number of discrete events executed.
+	Events uint64
+}
+
+// Counters aggregates the perf counters of every node of the named type.
+func (r Result) Counters(typeName string) perfcounter.Counters {
+	var c perfcounter.Counters
+	for _, n := range r.Nodes {
+		if n.TypeName == typeName {
+			c.Add(n.Counters)
+		}
+	}
+	return c
+}
+
+// Run simulates one job of wl on cfg. The work assignment is the same
+// static rate-matched mapping the model computes (the paper determines
+// the mapping from the model and executes it); the execution then
+// deviates from the model through the configured effects. The meter
+// measures the aggregate of all node traces.
+func Run(cfg cluster.Config, wl *workload.Profile, eff Effects, meter powermeter.Meter, seed uint64) (Result, error) {
+	// The model supplies the per-group unit assignment.
+	mres, err := model.Evaluate(cfg, wl, model.Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	slices := eff.Slices
+	if slices <= 0 {
+		slices = 1
+	}
+
+	eng := des.New()
+	master := stats.NewRNG(seed)
+	res := Result{Config: cfg, Workload: wl.Name}
+
+	type nodeState struct {
+		run       *NodeRun
+		group     cluster.Group
+		demand    workload.Demand
+		rng       *stats.RNG
+		power     hardwarePower
+		perUnit   float64 // units per slice
+		slice     int
+		clock     float64
+		straggler float64 // extra slowdown factor (1 = healthy)
+	}
+
+	var states []*nodeState
+	for _, g := range mres.Groups {
+		d, err := wl.Demand(g.Group.Type.Name)
+		if err != nil {
+			return Result{}, err
+		}
+		for i := 0; i < g.Group.Count; i++ {
+			nr := &NodeRun{
+				TypeName: g.Group.Type.Name,
+				Index:    len(states),
+				Trace:    &powermeter.Trace{},
+			}
+			rng := master.Split()
+			st := &nodeState{
+				run:       nr,
+				group:     g.Group,
+				demand:    d,
+				rng:       rng,
+				power:     perturbedPower(g.Group, i, eff),
+				perUnit:   g.UnitsPerNode / float64(slices),
+				straggler: 1,
+			}
+			if eff.StragglerProb > 0 && rng.Float64() < eff.StragglerProb {
+				slow := eff.StragglerSlowdown
+				if slow < 1 {
+					slow = 1
+				}
+				st.straggler = slow
+			}
+			states = append(states, st)
+			res.Nodes = append(res.Nodes, *nr)
+		}
+	}
+	if len(states) == 0 {
+		return Result{}, errors.New("simulator: configuration has no nodes")
+	}
+
+	// Per-node slice process: compute the slice's component times with
+	// effects, emit a power segment and counters, then schedule the next
+	// slice.
+	var runSlice func(st *nodeState)
+	runSlice = func(st *nodeState) {
+		if st.slice >= slices || st.perUnit <= 0 {
+			return
+		}
+		st.slice++
+		seg, cnt, dur := simulateSlice(st.group, st.demand, wl, st.perUnit, eff, st.rng, st.straggler)
+		start := st.clock
+		st.clock += dur
+		if err := st.run.Trace.Append(powermeter.Segment{Start: start, End: st.clock, Power: seg(st.power)}); err != nil {
+			// Segments are appended in node-local time order; failure is
+			// a programming error.
+			panic(err)
+		}
+		st.run.Counters.Add(cnt)
+		if st.slice >= slices {
+			st.run.Finish = st.clock
+			return
+		}
+		if _, err := eng.ScheduleAt(st.clock, func() { runSlice(st) }); err != nil {
+			panic(err)
+		}
+	}
+
+	for _, st := range states {
+		st := st
+		// DVFS transition at job start: the node idles while the
+		// governor settles.
+		start := 0.0
+		if eff.DVFSTransition > 0 && st.group.Freq != st.group.Type.FMax() {
+			start = float64(eff.DVFSTransition)
+			if err := st.run.Trace.Append(powermeter.Segment{Start: 0, End: start, Power: st.power.idle}); err != nil {
+				return Result{}, err
+			}
+		}
+		st.clock = start
+		if _, err := eng.ScheduleAt(start, func() { runSlice(st) }); err != nil {
+			return Result{}, err
+		}
+	}
+
+	eng.Run(1e18)
+	res.Events = eng.Steps()
+
+	// Collect results; the nodes slice captured values before the run,
+	// refresh from states.
+	makespan := 0.0
+	var trueEnergy stats.KahanSum
+	sources := make(powermeter.Aggregate, 0, len(states))
+	for i, st := range states {
+		st.run.Finish = st.clock
+		res.Nodes[i] = *st.run
+		if st.clock > makespan {
+			makespan = st.clock
+		}
+	}
+	// Nodes that finish early idle until the slowest node completes,
+	// burning idle power (the cluster-level makespan accounting of the
+	// model's E_idle term).
+	for i, st := range states {
+		if st.clock < makespan {
+			if err := st.run.Trace.Append(powermeter.Segment{
+				Start: st.clock, End: makespan, Power: st.power.idle,
+			}); err != nil {
+				return Result{}, err
+			}
+		}
+		e := st.run.Trace.TrueEnergy()
+		res.Nodes[i].Energy = e
+		trueEnergy.Add(float64(e))
+		sources = append(sources, st.run.Trace)
+	}
+	res.Time = units.Seconds(makespan)
+	res.TrueEnergy = units.Joules(trueEnergy.Sum())
+
+	if makespan > 0 {
+		meas, err := meter.Measure(sources, makespan, master.Uint64())
+		if err != nil {
+			return Result{}, err
+		}
+		res.Measured = meas
+	}
+	return res, nil
+}
+
+// hardwarePower holds one node's (possibly perturbed) power parameters.
+type hardwarePower struct {
+	actPerCore, stallPerCore, mem, net, idle units.Watts
+}
+
+// perturbedPower applies per-device binning variation to the type's
+// nominal power parameters at the group's frequency. The perturbation is
+// a deterministic function of (DeviceSeed, node type, node index): the
+// same physical node always measures the same, across runs and seeds.
+func perturbedPower(g cluster.Group, nodeIndex int, eff Effects) hardwarePower {
+	p := g.Type.PowerAt(g.Freq)
+	rng := stats.NewRNG(deviceIdentity(eff.DeviceSeed, g.Type.Name, nodeIndex))
+	perturb := func(w units.Watts) units.Watts {
+		if eff.PowerVariation <= 0 {
+			return w
+		}
+		f := 1 + rng.NormFloat64(eff.PowerVariation)
+		if f < 0.5 {
+			f = 0.5
+		}
+		return units.Watts(float64(w) * f)
+	}
+	return hardwarePower{
+		actPerCore:   perturb(p.CPUActPerCore),
+		stallPerCore: perturb(p.CPUStallPerCore),
+		mem:          perturb(p.Mem),
+		net:          perturb(p.Net),
+		idle:         perturb(p.Idle),
+	}
+}
+
+// deviceIdentity hashes the fleet seed, node type name and node index
+// into a stable per-device RNG seed (FNV-1a over the identity tuple).
+func deviceIdentity(seed uint64, typeName string, index int) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(seed >> (8 * i)))
+	}
+	for i := 0; i < len(typeName); i++ {
+		mix(typeName[i])
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(index) >> (8 * i)))
+	}
+	return h
+}
+
+// simulateSlice computes one slice's duration, average-power function
+// and counters under the configured effects. straggler >= 1 applies an
+// additional slowdown to the CPU-side times (a throttled or contended
+// node stays busy — interference work occupies the stretch — so the
+// power attribution keeps the same activity fractions).
+func simulateSlice(g cluster.Group, d workload.Demand, wl *workload.Profile, unitsInSlice float64, eff Effects, rng *stats.RNG, straggler float64) (func(hardwarePower) units.Watts, perfcounter.Counters, float64) {
+	c := float64(g.Cores)
+	f := float64(g.Freq)
+
+	// Component times for the slice, per the model...
+	tCore := unitsInSlice * float64(d.CoreCycles) / (c * f)
+	tMem := unitsInSlice * float64(d.MemCycles) / f
+	// ...then the effects the model ignores.
+	if eff.MemContentionPerCore > 0 && g.Cores > 1 {
+		tMem *= 1 + eff.MemContentionPerCore*float64(g.Cores-1)
+	}
+	slowdown := 1.0
+	if eff.OSNoiseMean > 0 || eff.OSNoiseStdDev > 0 {
+		slowdown += eff.OSNoiseMean + rng.NormFloat64(eff.OSNoiseStdDev)
+	}
+	if wl.Irregularity > 0 {
+		slowdown += wl.Irregularity + rng.NormFloat64(wl.Irregularity/2)
+	}
+	if slowdown < 1 {
+		slowdown = 1
+	}
+	if straggler > 1 {
+		slowdown *= straggler
+	}
+	tCore *= slowdown
+	tMem *= slowdown
+
+	ioBytes := unitsInSlice * float64(d.IOBytes) * (1 + eff.NetOverhead)
+	tIO := ioBytes / float64(g.Type.NICBandwidth)
+	// Shared-uplink contention: nodes of the group transfer
+	// concurrently (they run the same slice schedule), so the switch
+	// uplink sees min(groupSize, NodesPerUplink) NICs at once. When
+	// their aggregate demand oversubscribes the uplink, every transfer
+	// stretches by the oversubscription factor.
+	if eff.UplinkBandwidth > 0 && tIO > 0 {
+		sharing := g.Count
+		per := eff.NodesPerUplink
+		if per <= 0 {
+			per = 8
+		}
+		if sharing > per {
+			sharing = per
+		}
+		demand := float64(sharing) * float64(g.Type.NICBandwidth)
+		if over := demand / float64(eff.UplinkBandwidth); over > 1 {
+			tIO *= over
+		}
+	}
+	if d.IOReqs > 0 && wl.IORate > 0 {
+		wait := unitsInSlice * d.IOReqs / float64(wl.IORate)
+		if wait > tIO {
+			tIO = wait
+		}
+	}
+
+	tCPU := tCore
+	if tMem > tCPU {
+		tCPU = tMem
+	}
+	dur := tCPU
+	if tIO > dur {
+		dur = tIO
+	}
+	if dur <= 0 {
+		dur = 1e-12
+	}
+	tStall := tMem - tCore
+	if tStall < 0 {
+		tStall = 0
+	}
+
+	cnt := perfcounter.Counters{
+		WorkCycles:   tCore * c * f,
+		StallCycles:  tStall * c * f,
+		MemCycles:    tMem * f,
+		CacheMisses:  unitsInSlice * float64(d.MemCycles) / 4, // ~4 cycles per miss burst
+		IOBytes:      ioBytes,
+		IORequests:   unitsInSlice * d.IOReqs,
+		Instructions: tCore * c * f * 0.9, // sub-1 IPC out-of-order mix
+	}
+
+	intensity := d.Intensity
+	avgPower := func(p hardwarePower) units.Watts {
+		w := float64(p.idle)
+		w += intensity * float64(p.actPerCore) * c * (tCore / dur)
+		w += float64(p.stallPerCore) * c * (tStall / dur)
+		w += float64(p.mem) * (tMem / dur)
+		w += float64(p.net) * (tIO / dur)
+		return units.Watts(w)
+	}
+	return avgPower, cnt, dur
+}
+
+// ValidationRow is one line of the Table 4 reproduction: the relative
+// error between the analytical model and the simulated measurement.
+type ValidationRow struct {
+	Workload     string
+	TimeErrPct   float64
+	EnergyErrPct float64
+	ModelTime    units.Seconds
+	SimTime      units.Seconds
+	ModelEnergy  units.Joules
+	SimEnergy    units.Joules
+}
+
+// Validate runs model and simulator for one workload on cfg and returns
+// the percentage errors, using the measured (metered) energy as the
+// ground truth exactly as the paper's validation does.
+func Validate(cfg cluster.Config, wl *workload.Profile, eff Effects, meter powermeter.Meter, seed uint64) (ValidationRow, error) {
+	mres, err := model.Evaluate(cfg, wl, model.Options{})
+	if err != nil {
+		return ValidationRow{}, err
+	}
+	sres, err := Run(cfg, wl, eff, meter, seed)
+	if err != nil {
+		return ValidationRow{}, err
+	}
+	if sres.Time <= 0 || sres.Measured.Energy <= 0 {
+		return ValidationRow{}, fmt.Errorf("simulator: degenerate run for %s", wl.Name)
+	}
+	return ValidationRow{
+		Workload:     wl.Name,
+		TimeErrPct:   100 * stats.RelErr(float64(mres.Time), float64(sres.Time)),
+		EnergyErrPct: 100 * stats.RelErr(float64(mres.Energy), float64(sres.Measured.Energy)),
+		ModelTime:    mres.Time,
+		SimTime:      sres.Time,
+		ModelEnergy:  mres.Energy,
+		SimEnergy:    sres.Measured.Energy,
+	}, nil
+}

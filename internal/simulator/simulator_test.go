@@ -1,0 +1,230 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/powermeter"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func setup(t *testing.T) (*hardware.Catalog, *workload.Registry) {
+	t.Helper()
+	cat := hardware.DefaultCatalog()
+	reg, err := workload.PaperRegistry(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, reg
+}
+
+func validationConfig(t *testing.T, cat *hardware.Catalog) cluster.Config {
+	t.Helper()
+	a9, err := cat.Lookup("A9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k10, err := cat.Lookup("K10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster.MustConfig(cluster.FullNodes(a9, 8), cluster.FullNodes(k10, 4))
+}
+
+// perfectMeter reads the trace without instrument error.
+func perfectMeter() powermeter.Meter {
+	return powermeter.Meter{SampleRate: 1000}
+}
+
+// TestSimulatorMatchesModelWithoutEffects: with all effects disabled the
+// simulator must agree with the analytical model almost exactly — the
+// model is the simulator's zero-noise limit.
+func TestSimulatorMatchesModelWithoutEffects(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	for _, name := range workload.PaperNames() {
+		wl, err := reg.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Zero out the irregularity for the exactness check.
+		clean := *wl
+		clean.Irregularity = 0
+		mres, err := model.Evaluate(cfg, &clean, model.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres, err := Run(cfg, &clean, Effects{}, perfectMeter(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.RelErr(float64(sres.Time), float64(mres.Time)) > 1e-9 {
+			t.Errorf("%s: sim time %v vs model %v", name, sres.Time, mres.Time)
+		}
+		if stats.RelErr(float64(sres.TrueEnergy), float64(mres.Energy)) > 1e-9 {
+			t.Errorf("%s: sim energy %v vs model %v", name, sres.TrueEnergy, mres.Energy)
+		}
+	}
+}
+
+// TestTable4ValidationErrors reproduces the paper's validation: with the
+// default effects, model-versus-measured errors stay in the single to
+// low-double-digit percent band for every workload (the paper reports
+// 2-13% time, 1-10% energy).
+func TestTable4ValidationErrors(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	for _, name := range workload.PaperNames() {
+		wl, err := reg.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := Validate(cfg, wl, DefaultEffects(), powermeter.DefaultMeter(), 2024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.TimeErrPct > 20 {
+			t.Errorf("%s: time error %.1f%% exceeds the validation band", name, row.TimeErrPct)
+		}
+		if row.EnergyErrPct > 20 {
+			t.Errorf("%s: energy error %.1f%% exceeds the validation band", name, row.EnergyErrPct)
+		}
+		// The effects slow execution down, so the model must
+		// underestimate time (its error is one-sided).
+		if row.SimTime < row.ModelTime {
+			t.Errorf("%s: simulated time %v below model %v; effects should only slow execution",
+				name, row.SimTime, row.ModelTime)
+		}
+	}
+}
+
+// TestSimulatorDeterminism: identical seeds reproduce identical runs.
+func TestSimulatorDeterminism(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	wl, err := reg.Lookup(workload.NameX264)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(cfg, wl, DefaultEffects(), powermeter.DefaultMeter(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, wl, DefaultEffects(), powermeter.DefaultMeter(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.TrueEnergy != b.TrueEnergy || a.Measured.Energy != b.Measured.Energy {
+		t.Errorf("same seed, different results: %v/%v vs %v/%v",
+			a.Time, a.TrueEnergy, b.Time, b.TrueEnergy)
+	}
+	c, err := Run(cfg, wl, DefaultEffects(), powermeter.DefaultMeter(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time == c.Time && a.TrueEnergy == c.TrueEnergy {
+		t.Error("different seeds produced identical noisy runs")
+	}
+}
+
+// TestMeterTracksTrueEnergy: the instrument error must stay small
+// relative to the true trace energy.
+func TestMeterTracksTrueEnergy(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, wl, DefaultEffects(), powermeter.DefaultMeter(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(float64(res.Measured.Energy), float64(res.TrueEnergy)) > 0.05 {
+		t.Errorf("metered %v vs true %v differ over 5%%", res.Measured.Energy, res.TrueEnergy)
+	}
+}
+
+// TestCountersConsistent: simulated perf counters must reflect the
+// assigned demands (work cycles scale with units executed).
+func TestCountersConsistent(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	wl, err := reg.Lookup(workload.NameBlackscholes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := model.Evaluate(cfg, wl, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := Run(cfg, wl, DefaultEffects(), perfectMeter(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range mres.Groups {
+		d, err := wl.Demand(g.Group.Type.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantWork := g.Units * float64(d.CoreCycles)
+		got := sres.Counters(g.Group.Type.Name).WorkCycles
+		// Noise slows wall time but does not add work cycles beyond the
+		// slowdown factor baked into the slice accounting; allow 20%.
+		if stats.RelErr(got, wantWork) > 0.2 {
+			t.Errorf("%s: work cycles %.3g, want ~%.3g", g.Group.Type.Name, got, wantWork)
+		}
+	}
+}
+
+// TestNodesFinishTogetherWithinNoise: the static rate-matched mapping
+// should keep node finish times within the noise envelope.
+func TestNodesFinishTogetherWithinNoise(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, wl, DefaultEffects(), perfectMeter(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minF, maxF := math.Inf(1), 0.0
+	for _, n := range res.Nodes {
+		if n.Finish < minF {
+			minF = n.Finish
+		}
+		if n.Finish > maxF {
+			maxF = n.Finish
+		}
+	}
+	if (maxF-minF)/maxF > 0.15 {
+		t.Errorf("node finish skew %.1f%% exceeds noise envelope", 100*(maxF-minF)/maxF)
+	}
+}
+
+// TestZeroEffectsIdleTailAccounting: a deliberately imbalanced manual
+// scenario — one slow group — still conserves energy (idle tail of fast
+// nodes is in the trace).
+func TestIdleTailEnergyAccounted(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	wl, err := reg.Lookup(workload.NameJulius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, wl, DefaultEffects(), perfectMeter(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Nodes {
+		if d := n.Trace.Duration(); stats.RelErr(d, float64(res.Time)) > 1e-9 {
+			t.Errorf("node %d trace ends at %g, makespan %v", n.Index, d, res.Time)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package simulator
+
+import (
+	"testing"
+
+	"repro/internal/powermeter"
+	"repro/internal/workload"
+)
+
+// TestStragglerInflatesMakespan: with a guaranteed straggler, the static
+// rate-matched mapping cannot rebalance and the whole job waits for the
+// slow node — the makespan approaches the straggler's slowdown factor.
+func TestStragglerInflatesMakespan(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := DefaultEffects()
+	clean.StragglerProb = 0
+	base, err := Run(cfg, wl, clean, perfectMeter(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := clean
+	slow.StragglerProb = 1 // every node throttled: uniform 2x slowdown
+	slow.StragglerSlowdown = 2
+	throttled, err := Run(cfg, wl, slow, perfectMeter(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(throttled.Time) / float64(base.Time)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("uniform 2x throttle inflated makespan %.2fx, want ~2x", ratio)
+	}
+
+	// A single straggler among many nodes still gates the whole job:
+	// expected inflation approaches the straggler's factor as soon as
+	// one node draws the short straw.
+	one := clean
+	one.StragglerProb = 0.25
+	one.StragglerSlowdown = 3
+	worst := 0.0
+	for seed := uint64(1); seed <= 8; seed++ {
+		res, err := Run(cfg, wl, one, perfectMeter(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := float64(res.Time) / float64(base.Time)
+		if r > worst {
+			worst = r
+		}
+		if r > 3.2 {
+			t.Errorf("seed %d: inflation %.2fx exceeds the straggler factor", seed, r)
+		}
+	}
+	// With 12 nodes at 25% probability, at least one of 8 seeds sees a
+	// straggler (probability of none ~ (0.75^12)^8 ~ 1e-10).
+	if worst < 2.5 {
+		t.Errorf("no straggler impact across seeds (worst inflation %.2fx)", worst)
+	}
+}
+
+// TestStragglerRaisesValidationError: stragglers break the model's
+// rate-matching assumption, so the Table-4-style error grows — the
+// mechanism behind the paper's observation that dynamic adaptation
+// complements the static mapping.
+func TestStragglerRaisesValidationError(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Validate(cfg, wl, DefaultEffects(), powermeter.DefaultMeter(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := DefaultEffects()
+	eff.StragglerProb = 1
+	eff.StragglerSlowdown = 2
+	broken, err := Validate(cfg, wl, eff, powermeter.DefaultMeter(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken.TimeErrPct <= base.TimeErrPct {
+		t.Errorf("straggler validation error %.1f%% not above baseline %.1f%%",
+			broken.TimeErrPct, base.TimeErrPct)
+	}
+}
+
+// TestStragglerDefaultOff: the default effects must not inject
+// stragglers (Table 4 assumes a healthy fleet, like the paper's lab).
+func TestStragglerDefaultOff(t *testing.T) {
+	if eff := DefaultEffects(); eff.StragglerProb != 0 {
+		t.Errorf("default straggler probability %g, want 0", eff.StragglerProb)
+	}
+}

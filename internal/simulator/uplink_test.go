@@ -1,0 +1,86 @@
+package simulator
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/powermeter"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// TestUplinkContentionSlowsIOBoundWork: halving the shared uplink below
+// the aggregate NIC demand stretches an I/O-bound job; compute-bound
+// work is untouched.
+func TestUplinkContentionSlowsIOBound(t *testing.T) {
+	cat, reg := setup(t)
+	a9, _ := cat.Lookup("A9")
+	cfg := cluster.MustConfig(cluster.FullNodes(a9, 8))
+	mc, err := reg.Lookup(workload.NameMemcached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Effects{}
+	congested := Effects{
+		// 8 A9 NICs at 12.5 MB/s each = 100 MB/s aggregate; a 50 MB/s
+		// uplink oversubscribes them 2x.
+		UplinkBandwidth: units.BytesPerSecond(50e6),
+		NodesPerUplink:  8,
+	}
+	meter := powermeter.Meter{SampleRate: 1000}
+
+	base, err := Run(cfg, mc, clean, meter, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(cfg, mc, congested, meter, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(slow.Time) / float64(base.Time)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("memcached under 2x oversubscription: %.2fx slower, want ~2x", ratio)
+	}
+
+	// EP barely touches the NIC: the uplink must not matter.
+	baseEP, err := Run(cfg, ep, clean, meter, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowEP, err := Run(cfg, ep, congested, meter, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := float64(slowEP.Time) / float64(baseEP.Time); r > 1.001 {
+		t.Errorf("compute-bound EP slowed %.3fx by the uplink", r)
+	}
+}
+
+// TestUplinkScalesWithGroupSize: a single node cannot oversubscribe the
+// uplink on its own.
+func TestUplinkScalesWithGroupSize(t *testing.T) {
+	cat, reg := setup(t)
+	a9, _ := cat.Lookup("A9")
+	mc, err := reg.Lookup(workload.NameMemcached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := Effects{UplinkBandwidth: units.BytesPerSecond(50e6), NodesPerUplink: 8}
+	meter := powermeter.Meter{SampleRate: 1000}
+	one := cluster.MustConfig(cluster.FullNodes(a9, 1))
+	base, err := Run(one, mc, Effects{}, meter, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Run(one, mc, eff, meter, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := float64(with.Time) / float64(base.Time); r > 1.001 {
+		t.Errorf("single node slowed %.3fx; 12.5 MB/s cannot congest a 50 MB/s uplink", r)
+	}
+}

@@ -1,0 +1,154 @@
+package simulator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/powermeter"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// WindowOptions configures an observation-window simulation.
+type WindowOptions struct {
+	// ArrivalRate is the Poisson job arrival rate λ_job.
+	ArrivalRate units.PerSecond
+	// Window is the observation period T of Section II-B.
+	Window units.Seconds
+	// ServiceSamples is how many cluster simulations build the empirical
+	// job service/energy distribution (each with full jitter).
+	ServiceSamples int
+	// Seed drives arrivals and service sampling.
+	Seed uint64
+}
+
+// WindowResult is the outcome of simulating a datacenter observation
+// window: jobs arriving at a dispatcher, queueing FIFO, and executing on
+// the cluster, with the cluster's power integrated across busy and idle
+// periods — the measured counterpart of the paper's E over period T.
+type WindowResult struct {
+	Config   cluster.Config
+	Workload string
+	Window   units.Seconds
+	// Arrived counts jobs that arrived within the window; Completed
+	// counts those that finished within it.
+	Arrived, Completed int
+	// BusyTime is the total time the cluster spent executing inside the
+	// window; BusyFraction = BusyTime / Window is the measured
+	// utilization U.
+	BusyTime     units.Seconds
+	BusyFraction float64
+	// Energy is the integrated cluster energy over the window;
+	// MeanPower is Energy / Window — the measured P(U).
+	Energy    units.Joules
+	MeanPower units.Watts
+	// Responses are the sojourn times of completed jobs, ascending.
+	// Jobs still queued or in service when the window closes are not
+	// included, which right-censors the distribution slightly; use a
+	// window much longer than the mean response when reading high
+	// percentiles.
+	Responses []float64
+}
+
+// ResponsePercentile returns the p-th percentile of completed-job
+// sojourn times.
+func (r WindowResult) ResponsePercentile(p float64) (float64, error) {
+	return stats.PercentileSorted(r.Responses, p)
+}
+
+// RunWindow simulates one observation window end to end. The job
+// service-time and busy-power distributions are sampled empirically by
+// running the full discrete-event cluster simulation ServiceSamples
+// times; the window then replays a Poisson arrival process through a
+// FIFO queue, drawing (service, busy power) pairs from those samples,
+// and integrates idle power across the gaps.
+//
+// It is the measured counterpart of the analytic utilization model:
+// Section II-B asserts E(U) = U*T*P_busy + (1-U)*T*P_idle, which
+// TestWindowPowerMatchesLinearModel checks against this simulation.
+func RunWindow(cfg cluster.Config, wl *workload.Profile, eff Effects, meter powermeter.Meter, opt WindowOptions) (WindowResult, error) {
+	if opt.Window <= 0 {
+		return WindowResult{}, errors.New("simulator: window must be positive")
+	}
+	if opt.ArrivalRate < 0 {
+		return WindowResult{}, errors.New("simulator: negative arrival rate")
+	}
+	if opt.ServiceSamples < 1 {
+		return WindowResult{}, errors.New("simulator: need at least one service sample")
+	}
+
+	// Empirical (service, busyPower) samples from the full simulator.
+	type svc struct {
+		time  float64
+		power float64
+	}
+	samples := make([]svc, opt.ServiceSamples)
+	for i := range samples {
+		res, err := Run(cfg, wl, eff, meter, opt.Seed+uint64(i)*7919)
+		if err != nil {
+			return WindowResult{}, fmt.Errorf("simulator: service sampling: %w", err)
+		}
+		if res.Time <= 0 {
+			return WindowResult{}, errors.New("simulator: degenerate service sample")
+		}
+		samples[i] = svc{time: float64(res.Time), power: float64(res.TrueEnergy) / float64(res.Time)}
+	}
+
+	idlePower := float64(cfg.IdlePower())
+	window := float64(opt.Window)
+	rng := stats.NewRNG(opt.Seed ^ 0x5ca1ab1e)
+
+	out := WindowResult{Config: cfg, Workload: wl.Name, Window: opt.Window}
+	var busy, energy stats.KahanSum
+
+	// FIFO single-server queue over the whole cluster (the paper's
+	// M/D/1 dispatcher view), replayed in event order.
+	now := 0.0    // arrival clock
+	freeAt := 0.0 // when the cluster frees up
+	for {
+		if opt.ArrivalRate <= 0 {
+			break
+		}
+		now += rng.ExpFloat64(float64(opt.ArrivalRate))
+		if now >= window {
+			break
+		}
+		out.Arrived++
+		s := samples[rng.Intn(len(samples))]
+		start := now
+		if freeAt > start {
+			start = freeAt
+		}
+		end := start + s.time
+		freeAt = end
+		// Account the busy period's overlap with the window.
+		overlapStart := start
+		overlapEnd := end
+		if overlapEnd > window {
+			overlapEnd = window
+		}
+		if overlapStart < window && overlapEnd > overlapStart {
+			busy.Add(overlapEnd - overlapStart)
+			energy.Add((overlapEnd - overlapStart) * s.power)
+		}
+		if end <= window {
+			out.Completed++
+			out.Responses = append(out.Responses, end-now)
+		}
+	}
+	out.BusyTime = units.Seconds(busy.Sum())
+	out.BusyFraction = busy.Sum() / window
+	// Idle power for the remainder of the window.
+	idleTime := window - busy.Sum()
+	if idleTime < 0 {
+		idleTime = 0
+	}
+	energy.Add(idleTime * idlePower)
+	out.Energy = units.Joules(energy.Sum())
+	out.MeanPower = out.Energy.Over(opt.Window)
+	sort.Float64s(out.Responses)
+	return out, nil
+}

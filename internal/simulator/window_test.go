@@ -1,0 +1,185 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/queueing"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestWindowIdleWhenNoArrivals(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWindow(cfg, wl, DefaultEffects(), perfectMeter(), WindowOptions{
+		ArrivalRate: 0, Window: 10, ServiceSamples: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != 0 || res.BusyFraction != 0 {
+		t.Errorf("idle window saw %d arrivals, busy %g", res.Arrived, res.BusyFraction)
+	}
+	if stats.RelErr(float64(res.MeanPower), float64(cfg.IdlePower())) > 1e-9 {
+		t.Errorf("idle window power %v, want idle %v", res.MeanPower, cfg.IdlePower())
+	}
+}
+
+// TestWindowPowerMatchesLinearModel is the empirical check of the
+// paper's Section II-B utilization model: the measured mean power over
+// a long window must land on the linear P(U) = P_idle + U*(P_busy -
+// P_idle) within the simulator's noise.
+func TestWindowPowerMatchesLinearModel(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := model.Evaluate(cfg, wl, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []float64{0.25, 0.5, 0.8} {
+		// The simulator's jittered services are slightly longer than the
+		// model's T_P; aim the arrival rate with the model anyway, as
+		// the paper would.
+		lambda := units.PerSecond(target / float64(mres.Time))
+		window := units.Seconds(12000 * float64(mres.Time))
+		res, err := RunWindow(cfg, wl, DefaultEffects(), perfectMeter(), WindowOptions{
+			ArrivalRate:    lambda,
+			Window:         window,
+			ServiceSamples: 32,
+			Seed:           77,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Measured utilization tracks lambda * E[S_sim]: with ~2% mean
+		// slowdown it sits slightly above the target, and the Poisson
+		// arrival count over the window fluctuates a couple of percent.
+		if res.BusyFraction < target*0.9 || res.BusyFraction > target*1.25 {
+			t.Errorf("u target %.2f: measured %.3f", target, res.BusyFraction)
+		}
+		// The measured power must match the linear model evaluated at
+		// the *measured* utilization.
+		want := float64(mres.IdlePower) + res.BusyFraction*float64(mres.BusyPower-mres.IdlePower)
+		if stats.RelErr(float64(res.MeanPower), want) > 0.05 {
+			t.Errorf("u=%.2f: measured power %v, linear model %.1f W", target, res.MeanPower, want)
+		}
+	}
+}
+
+// TestWindowResponsesMatchMD1: at moderate utilization, the window
+// simulation's p95 response is near the M/D/1 percentile.
+func TestWindowResponsesMatchMD1(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := model.Evaluate(cfg, wl, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 0.5
+	lambda := units.PerSecond(target / float64(mres.Time))
+	res, err := RunWindow(cfg, wl, DefaultEffects(), perfectMeter(), WindowOptions{
+		ArrivalRate:    lambda,
+		Window:         units.Seconds(20000 * float64(mres.Time)),
+		ServiceSamples: 32,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed < 5000 {
+		t.Fatalf("only %d completions", res.Completed)
+	}
+	got, err := res.ResponsePercentile(95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic percentile with the model's deterministic service; the
+	// simulated services are ~2-3% slower and jittered, so allow 15%.
+	a, err := analysisQueueP95(target, float64(mres.Time))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(got, a) > 0.15 {
+		t.Errorf("window p95 %.4g vs M/D/1 %.4g", got, a)
+	}
+}
+
+// analysisQueueP95 computes the analytic M/D/1 p95 for the comparison.
+func analysisQueueP95(rho, d float64) (float64, error) {
+	q, err := queueing.NewMD1FromUtilization(rho, d)
+	if err != nil {
+		return 0, err
+	}
+	return q.ResponsePercentile(95)
+}
+
+func TestWindowValidation(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWindow(cfg, wl, DefaultEffects(), perfectMeter(), WindowOptions{Window: 0, ServiceSamples: 1}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := RunWindow(cfg, wl, DefaultEffects(), perfectMeter(), WindowOptions{Window: 1, ServiceSamples: 0}); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := RunWindow(cfg, wl, DefaultEffects(), perfectMeter(), WindowOptions{Window: 1, ServiceSamples: 1, ArrivalRate: -1}); err == nil {
+		t.Error("negative arrival rate accepted")
+	}
+}
+
+// TestWindowConservation: completed <= arrived, responses sorted, busy
+// fraction in [0,1].
+func TestWindowConservation(t *testing.T) {
+	cat, reg := setup(t)
+	cfg := validationConfig(t, cat)
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := model.Evaluate(cfg, wl, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWindow(cfg, wl, DefaultEffects(), perfectMeter(), WindowOptions{
+		ArrivalRate:    units.PerSecond(0.9 / float64(mres.Time)),
+		Window:         units.Seconds(500 * float64(mres.Time)),
+		ServiceSamples: 8,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed > res.Arrived {
+		t.Errorf("completed %d > arrived %d", res.Completed, res.Arrived)
+	}
+	if res.BusyFraction < 0 || res.BusyFraction > 1+1e-12 {
+		t.Errorf("busy fraction %g", res.BusyFraction)
+	}
+	for i := 1; i < len(res.Responses); i++ {
+		if res.Responses[i] < res.Responses[i-1] {
+			t.Fatal("responses not sorted")
+		}
+	}
+	if math.IsNaN(float64(res.MeanPower)) {
+		t.Error("NaN mean power")
+	}
+}

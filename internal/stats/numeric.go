@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// KahanSum accumulates floating point values with compensated summation,
+// keeping the error independent of the number of terms. The proportionality
+// metrics integrate power curves over fine utilization grids, where naive
+// summation would lose precision.
+type KahanSum struct {
+	sum, c float64
+}
+
+// Add accumulates v.
+func (k *KahanSum) Add(v float64) {
+	y := v - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *KahanSum) Sum() float64 { return k.sum }
+
+// Trapezoid integrates the sampled function (xs[i], ys[i]) with the
+// trapezoidal rule. xs must be strictly increasing and len(xs) == len(ys)
+// with at least two points.
+func Trapezoid(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: Trapezoid slice lengths differ")
+	}
+	if len(xs) < 2 {
+		return 0, errors.New("stats: Trapezoid needs at least two points")
+	}
+	var k KahanSum
+	for i := 1; i < len(xs); i++ {
+		dx := xs[i] - xs[i-1]
+		if dx <= 0 {
+			return 0, errors.New("stats: Trapezoid xs not strictly increasing")
+		}
+		k.Add(dx * (ys[i] + ys[i-1]) / 2)
+	}
+	return k.Sum(), nil
+}
+
+// IntegrateFunc integrates f over [a, b] with n trapezoid panels.
+func IntegrateFunc(f func(float64) float64, a, b float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	h := (b - a) / float64(n)
+	var k KahanSum
+	k.Add(f(a) / 2)
+	for i := 1; i < n; i++ {
+		k.Add(f(a + float64(i)*h))
+	}
+	k.Add(f(b) / 2)
+	return k.Sum() * h
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of data using
+// linear interpolation between closest ranks (the same "type 7" estimator
+// as numpy's default). data is not modified.
+func Percentile(data []float64, p float64) (float64, error) {
+	if len(data) == 0 {
+		return 0, errors.New("stats: Percentile of empty data")
+	}
+	if p < 0 || p > 100 || math.IsNaN(p) {
+		return 0, errors.New("stats: Percentile p out of range")
+	}
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+// PercentileSorted is Percentile for data already in ascending order.
+// It avoids the copy and sort for hot paths such as queueing simulations.
+func PercentileSorted(sorted []float64, p float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, errors.New("stats: Percentile of empty data")
+	}
+	if p < 0 || p > 100 || math.IsNaN(p) {
+		return 0, errors.New("stats: Percentile p out of range")
+	}
+	return percentileSorted(sorted, p), nil
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Bisect finds a root of f in [a, b] to within tol using bisection.
+// f(a) and f(b) must bracket a root (opposite signs, or one of them zero).
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.IsNaN(fa) || math.IsNaN(fb) {
+		return 0, errors.New("stats: Bisect endpoint is NaN")
+	}
+	if fa*fb > 0 {
+		return 0, errors.New("stats: Bisect endpoints do not bracket a root")
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for i := 0; i < 200; i++ {
+		mid := (a + b) / 2
+		fm := f(mid)
+		if fm == 0 || (b-a)/2 < tol {
+			return mid, nil
+		}
+		if fa*fm < 0 {
+			b = mid
+		} else {
+			a, fa = mid, fm
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Linspace returns n evenly spaced samples over [a, b] inclusive.
+// n must be at least 2.
+func Linspace(a, b float64, n int) []float64 {
+	if n < 2 {
+		return []float64{a}
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b // avoid accumulation error on the final point
+	return out
+}
+
+// RelErr returns the relative error |got-want|/|want|, or the absolute
+// error when want is zero.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// AlmostEqual reports whether a and b agree within relative tolerance tol
+// (with an absolute floor of tol for values near zero).
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= tol*scale
+}

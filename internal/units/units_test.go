@@ -1,0 +1,131 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerEnergyRoundTrip(t *testing.T) {
+	f := func(pRaw, dRaw uint16) bool {
+		p := Watts(float64(pRaw)/7 + 0.1)
+		d := Seconds(float64(dRaw)/13 + 0.1)
+		e := p.Energy(d)
+		back := e.Over(d)
+		return math.Abs(float64(back-p)) < 1e-9*math.Abs(float64(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyOverZeroDuration(t *testing.T) {
+	if got := Joules(100).Over(0); got != 0 {
+		t.Errorf("Over(0) = %v, want 0", got)
+	}
+	if got := Joules(100).Over(-1); got != 0 {
+		t.Errorf("Over(-1) = %v, want 0", got)
+	}
+}
+
+func TestCyclesTime(t *testing.T) {
+	if got := Cycles(2e9).Time(1 * GHz); math.Abs(float64(got)-2) > 1e-12 {
+		t.Errorf("2e9 cycles at 1GHz = %v, want 2s", got)
+	}
+	if got := Cycles(100).Time(0); !math.IsInf(float64(got), 1) {
+		t.Errorf("cycles at 0Hz = %v, want +Inf", got)
+	}
+	if got := Cycles(0).Time(0); got != 0 {
+		t.Errorf("0 cycles at 0Hz = %v, want 0", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	if got := Bytes(1e6).TransferTime(1e6); math.Abs(float64(got)-1) > 1e-12 {
+		t.Errorf("1MB at 1MB/s = %v, want 1s", got)
+	}
+	if got := Bytes(1).TransferTime(0); !math.IsInf(float64(got), 1) {
+		t.Errorf("transfer at 0 B/s = %v, want +Inf", got)
+	}
+	if got := Bytes(0).TransferTime(0); got != 0 {
+		t.Errorf("0 bytes at 0 B/s = %v, want 0", got)
+	}
+}
+
+func TestRateInterval(t *testing.T) {
+	if got := PerSecond(4).Interval(); math.Abs(float64(got)-0.25) > 1e-12 {
+		t.Errorf("interval of 4/s = %v, want 0.25s", got)
+	}
+	if got := PerSecond(0).Interval(); !math.IsInf(float64(got), 1) {
+		t.Errorf("interval of 0/s = %v, want +Inf", got)
+	}
+}
+
+func TestMaxSeconds(t *testing.T) {
+	if got := MaxSeconds(1, 3, 2); got != 3 {
+		t.Errorf("MaxSeconds = %v, want 3", got)
+	}
+	if got := MaxSeconds(5); got != 5 {
+		t.Errorf("MaxSeconds single = %v, want 5", got)
+	}
+	if got := MaxSeconds(-1, -3); got != -1 {
+		t.Errorf("MaxSeconds negatives = %v, want -1", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !Seconds(1.5).IsFinite() {
+		t.Error("1.5s should be finite")
+	}
+	if Seconds(math.Inf(1)).IsFinite() {
+		t.Error("+Inf should not be finite")
+	}
+	if Seconds(math.NaN()).IsFinite() {
+		t.Error("NaN should not be finite")
+	}
+}
+
+func TestStringScaling(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Watts(0).String(), "0W"},
+		{Watts(1500).String(), "1.5kW"},
+		{Watts(0.005).String(), "5mW"},
+		{Watts(2.5e6).String(), "2.5MW"},
+		{Joules(3.6e6).String(), "3.6MJ"},
+		{Hertz(1.4e9).String(), "1.4GHz"},
+		{Bytes(2048).String(), "2.048kB"},
+		{Seconds(0).String(), "0s"},
+		{Seconds(0.0123).String(), "12.3ms"},
+		{Seconds(4e-6).String(), "4us"},
+		{Seconds(3e-9).String(), "3ns"},
+		{Seconds(7200).String(), "2h"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestStringNegative(t *testing.T) {
+	// Negative quantities should render with the sign, not panic or
+	// pick a wrong scale.
+	if s := Watts(-3.5).String(); !strings.HasPrefix(s, "-") {
+		t.Errorf("negative power rendered %q", s)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if GHz != 1e9 || MHz != 1e6 || KHz != 1e3 {
+		t.Error("frequency constants wrong")
+	}
+	if GB != 1e9 || MB != 1e6 || KB != 1e3 {
+		t.Error("size constants wrong")
+	}
+	if float64(KWh) != 3.6e6 {
+		t.Error("kWh constant wrong")
+	}
+}

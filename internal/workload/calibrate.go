@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/hardware"
+	"repro/internal/units"
+)
+
+// Targets holds the published operating point of one (workload, node
+// type) pair that calibration inverts:
+//
+//   - PPR: throughput per watt at the most energy-efficient configuration
+//     (Table 6), defined over the busy power;
+//   - IPR: idle-to-peak power ratio for the workload (Table 7), which
+//     fixes the busy power as P_busy = P_idle / IPR.
+type Targets struct {
+	PPR float64 // work units per second per watt
+	IPR float64 // P_idle / P_busy, in (0, 1]
+}
+
+// Validate checks the targets.
+func (t Targets) Validate() error {
+	if t.PPR <= 0 {
+		return fmt.Errorf("workload: PPR target must be positive, got %g", t.PPR)
+	}
+	if t.IPR <= 0 || t.IPR > 1 {
+		return fmt.Errorf("workload: IPR target must be in (0,1], got %g", t.IPR)
+	}
+	return nil
+}
+
+// Calibrate derives the demand vector for one node type from its targets
+// and the unit structure, assuming the node runs all cores at maximum
+// frequency (the paper computes Table 6 and 7 at the most
+// energy-efficient full-node operating point).
+//
+// The derivation inverts the forward model:
+//
+//	t_unit      = 1 / (PPR × P_busy)            (seconds per work unit)
+//	t_core      = Structure.CoreFrac × t_unit
+//	t_mem       = Structure.MemFrac  × t_unit
+//	t_io        = Structure.IOFrac   × t_unit
+//	CoreCycles  = t_core × cores × f_max
+//	MemCycles   = t_mem × f_max
+//	IOBytes     = t_io × NIC bandwidth
+//
+// and then solves the busy-power balance for the CPU intensity ι:
+//
+//	P_busy = P_idle + ι·P_act·c·(t_core/t_unit) + P_stall·c·(t_stall/t_unit)
+//	       + P_mem·(t_mem/t_unit) + P_net·(t_io/t_unit)
+//
+// with t_stall = max(0, min(t_mem, t_unit) − t_core), the memory time the
+// out-of-order cores cannot hide. ι outside (0, MaxIntensity] means the
+// structure cannot reach the target power on this node and is an error.
+func Calibrate(node *hardware.NodeType, s Structure, t Targets) (Demand, error) {
+	if err := nodeTypeOrErr(node); err != nil {
+		return Demand{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return Demand{}, err
+	}
+	if err := t.Validate(); err != nil {
+		return Demand{}, err
+	}
+
+	p := node.PowerAt(node.FMax())
+	pBusy := float64(p.Idle) / t.IPR
+	if pBusy <= float64(p.Idle) {
+		return Demand{}, fmt.Errorf("workload: busy power %.3g not above idle %.3g", pBusy, float64(p.Idle))
+	}
+	throughput := t.PPR * pBusy // units per second per node
+	tUnit := 1 / throughput
+
+	tCore := s.CoreFrac * tUnit
+	tMem := s.MemFrac * tUnit
+	tIO := s.IOFrac * tUnit
+	tStall := tMem - tCore
+	if tStall < 0 {
+		tStall = 0
+	}
+
+	c := float64(node.Cores)
+	// Non-CPU power contributions over the unit.
+	fixed := float64(p.CPUStallPerCore)*c*(tStall/tUnit) +
+		float64(p.Mem)*(tMem/tUnit) +
+		float64(p.Net)*(tIO/tUnit)
+	dyn := pBusy - float64(p.Idle) - fixed
+	coreShare := float64(p.CPUActPerCore) * c * (tCore / tUnit)
+	if coreShare <= 0 {
+		return Demand{}, fmt.Errorf("workload: structure has no core time, cannot absorb %.3g W", dyn)
+	}
+	iota := dyn / coreShare
+	const maxIntensity = 1.5
+	if iota <= 0 {
+		return Demand{}, fmt.Errorf(
+			"workload: target busy power %.3g W below the structure's floor (%.3g W non-CPU components) on %s",
+			pBusy, float64(p.Idle)+fixed, node.Name)
+	}
+	if iota > maxIntensity {
+		return Demand{}, fmt.Errorf(
+			"workload: required CPU intensity %.3g exceeds %.2g on %s; structure or node power parameters inconsistent with targets",
+			iota, maxIntensity, node.Name)
+	}
+
+	fMax := float64(node.FMax())
+	d := Demand{
+		CoreCycles: units.Cycles(tCore * c * fMax),
+		MemCycles:  units.Cycles(tMem * fMax),
+		IOBytes:    units.Bytes(tIO * float64(node.NICBandwidth)),
+		Intensity:  iota,
+	}
+	if err := d.Validate(); err != nil {
+		return Demand{}, err
+	}
+	return d, nil
+}
+
+// CalibratedProfileSpec describes one paper workload: its metadata, unit
+// structure, and per-node calibration targets.
+type CalibratedProfileSpec struct {
+	Name         string
+	Domain       Domain
+	Unit         string
+	JobUnits     float64
+	IORate       units.PerSecond
+	Irregularity float64
+	Structure    map[string]Structure // per node-type name
+	Targets      map[string]Targets   // per node-type name
+}
+
+// Build calibrates the spec against the node types in the catalog and
+// returns the finished profile.
+func (spec CalibratedProfileSpec) Build(catalog *hardware.Catalog) (*Profile, error) {
+	p := NewProfile(spec.Name, spec.Domain, spec.Unit, spec.JobUnits)
+	p.IORate = spec.IORate
+	p.Irregularity = spec.Irregularity
+	for nodeName, tgt := range spec.Targets {
+		node, err := catalog.Lookup(nodeName)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", spec.Name, err)
+		}
+		s, ok := spec.Structure[nodeName]
+		if !ok {
+			return nil, fmt.Errorf("workload %s: no structure for node type %s", spec.Name, nodeName)
+		}
+		d, err := Calibrate(node, s, tgt)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", spec.Name, err)
+		}
+		if err := p.SetDemand(nodeName, d); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

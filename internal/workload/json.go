@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// profileJSON is the on-disk representation of a workload profile: raw
+// per-unit service demands per node type.
+type profileJSON struct {
+	Name         string                `json:"name"`
+	Domain       string                `json:"domain,omitempty"`
+	Unit         string                `json:"unit"`
+	JobUnits     float64               `json:"job_units"`
+	IORate       float64               `json:"io_rate_per_s,omitempty"`
+	Irregularity float64               `json:"irregularity,omitempty"`
+	Demands      map[string]demandJSON `json:"demands"`
+}
+
+type demandJSON struct {
+	CoreCycles float64 `json:"core_cycles_per_unit"`
+	MemCycles  float64 `json:"mem_cycles_per_unit,omitempty"`
+	IOBytes    float64 `json:"io_bytes_per_unit,omitempty"`
+	IOReqs     float64 `json:"io_reqs_per_unit,omitempty"`
+	Intensity  float64 `json:"intensity"`
+}
+
+// WriteJSON serializes the profile.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	j := profileJSON{
+		Name:         p.Name,
+		Domain:       string(p.Domain),
+		Unit:         p.Unit,
+		JobUnits:     p.JobUnits,
+		IORate:       float64(p.IORate),
+		Irregularity: p.Irregularity,
+		Demands:      make(map[string]demandJSON, len(p.demands)),
+	}
+	for nt, d := range p.demands {
+		j.Demands[nt] = demandJSON{
+			CoreCycles: float64(d.CoreCycles),
+			MemCycles:  float64(d.MemCycles),
+			IOBytes:    float64(d.IOBytes),
+			IOReqs:     d.IOReqs,
+			Intensity:  d.Intensity,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// ReadProfileJSON parses and validates one profile.
+func ReadProfileJSON(r io.Reader) (*Profile, error) {
+	var j profileJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return nil, fmt.Errorf("workload: parsing profile JSON: %w", err)
+	}
+	domain := Domain(j.Domain)
+	if domain == "" {
+		domain = DomainSynthetic
+	}
+	p := NewProfile(j.Name, domain, j.Unit, j.JobUnits)
+	p.IORate = units.PerSecond(j.IORate)
+	p.Irregularity = j.Irregularity
+	// Install demands in sorted order so error messages are stable.
+	names := make([]string, 0, len(j.Demands))
+	for nt := range j.Demands {
+		names = append(names, nt)
+	}
+	sort.Strings(names)
+	for _, nt := range names {
+		d := j.Demands[nt]
+		if err := p.SetDemand(nt, Demand{
+			CoreCycles: units.Cycles(d.CoreCycles),
+			MemCycles:  units.Cycles(d.MemCycles),
+			IOBytes:    units.Bytes(d.IOBytes),
+			IOReqs:     d.IOReqs,
+			Intensity:  d.Intensity,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WriteRegistryJSON serializes every profile in the registry as a JSON
+// array, sorted by name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var out []json.RawMessage
+	for _, name := range r.Names() {
+		p, err := r.Lookup(name)
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			return err
+		}
+		out = append(out, json.RawMessage(buf.Bytes()))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadRegistryJSON parses a JSON array of profiles into a registry.
+func ReadRegistryJSON(r io.Reader) (*Registry, error) {
+	var raw []json.RawMessage
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("workload: parsing registry JSON: %w", err)
+	}
+	reg := NewRegistry()
+	for _, msg := range raw {
+		p, err := ReadProfileJSON(bytes.NewReader(msg))
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Register(p); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/hardware"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// SyntheticSpec controls random workload generation. Generated workloads
+// are used by property tests and by sensitivity studies that sweep the
+// space of resource shapes beyond the paper's six programs.
+type SyntheticSpec struct {
+	// NamePrefix prefixes generated workload names.
+	NamePrefix string
+	// MinCyclesPerUnit and MaxCyclesPerUnit bound the core cycles drawn
+	// per work unit.
+	MinCyclesPerUnit, MaxCyclesPerUnit float64
+	// MemRatioMax bounds memory cycles as a fraction of core cycles.
+	MemRatioMax float64
+	// IOProb is the probability a generated workload does network I/O.
+	IOProb float64
+	// MaxIOBytesPerUnit bounds the I/O volume per unit when present.
+	MaxIOBytesPerUnit float64
+	// JobUnits is the work per job (defaulted if zero).
+	JobUnits float64
+}
+
+// DefaultSyntheticSpec returns generation bounds that produce workloads
+// in the same regime as the paper's six.
+func DefaultSyntheticSpec() SyntheticSpec {
+	return SyntheticSpec{
+		NamePrefix:        "synth",
+		MinCyclesPerUnit:  50,
+		MaxCyclesPerUnit:  5000,
+		MemRatioMax:       2.0,
+		IOProb:            0.3,
+		MaxIOBytesPerUnit: 64,
+		JobUnits:          1e6,
+	}
+}
+
+// Generate produces n random workload profiles covering every node type
+// in the catalog. The same seed always yields the same profiles.
+func Generate(catalog *hardware.Catalog, spec SyntheticSpec, n int, seed uint64) ([]*Profile, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if spec.MaxCyclesPerUnit < spec.MinCyclesPerUnit || spec.MinCyclesPerUnit <= 0 {
+		return nil, fmt.Errorf("workload: invalid cycle bounds [%g, %g]",
+			spec.MinCyclesPerUnit, spec.MaxCyclesPerUnit)
+	}
+	jobUnits := spec.JobUnits
+	if jobUnits <= 0 {
+		jobUnits = 1e6
+	}
+	rng := stats.NewRNG(seed)
+	names := catalog.Names()
+	out := make([]*Profile, 0, n)
+	for i := 0; i < n; i++ {
+		p := NewProfile(fmt.Sprintf("%s-%04d", spec.NamePrefix, i), DomainSynthetic, "units", jobUnits)
+		doesIO := rng.Float64() < spec.IOProb
+		// The same logical program has correlated demands across node
+		// types: draw a base shape once, then perturb per node type to
+		// mimic ISA differences.
+		baseCycles := spec.MinCyclesPerUnit +
+			rng.Float64()*(spec.MaxCyclesPerUnit-spec.MinCyclesPerUnit)
+		memRatio := rng.Float64() * spec.MemRatioMax
+		ioBytes := 0.0
+		if doesIO {
+			ioBytes = rng.Float64() * spec.MaxIOBytesPerUnit
+		}
+		for _, nt := range names {
+			isaFactor := 0.5 + rng.Float64() // per-node efficiency 0.5-1.5x
+			d := Demand{
+				CoreCycles: units.Cycles(baseCycles * isaFactor),
+				MemCycles:  units.Cycles(baseCycles * memRatio * (0.8 + 0.4*rng.Float64())),
+				IOBytes:    units.Bytes(ioBytes),
+				Intensity:  0.2 + 0.8*rng.Float64(),
+			}
+			if err := p.SetDemand(nt, d); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

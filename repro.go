@@ -1,0 +1,205 @@
+// Package repro is the public API of the reproduction of "On Energy
+// Proportionality and Time-Energy Performance of Heterogeneous Clusters"
+// (Ramapantulu, Loghin, Teo — IEEE CLUSTER 2016).
+//
+// The package re-exports the high-level workflow: build a node catalog,
+// calibrate the paper's workloads, describe heterogeneous cluster
+// configurations, evaluate the time-energy model, sweep utilization for
+// the energy-proportionality metrics (DPR, IPR, EPM, LDR, PG, PPR),
+// compute the energy-deadline Pareto frontier, and query 95th-percentile
+// response times from the M/D/1 queueing model. The discrete-event
+// cluster simulator that stands in for the paper's hardware testbed is
+// exposed for validation studies.
+//
+// Quick start:
+//
+//	catalog := repro.DefaultCatalog()
+//	workloads, _ := repro.PaperWorkloads(catalog)
+//	a9, _ := catalog.Lookup("A9")
+//	k10, _ := catalog.Lookup("K10")
+//	cfg, _ := repro.NewConfig(repro.FullNodes(a9, 32), repro.FullNodes(k10, 12))
+//	ep, _ := workloads.Lookup("EP")
+//	res, _ := repro.Evaluate(cfg, ep)
+//	fmt.Println(res.Time, res.Energy)
+//
+// See the examples directory for complete programs.
+package repro
+
+import (
+	"repro/internal/adaptive"
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/energyprop"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/pareto"
+	"repro/internal/powermeter"
+	"repro/internal/queueing"
+	"repro/internal/report"
+	"repro/internal/simulator"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Re-exported core types. The internal packages carry the full
+// documentation; these aliases are the supported public surface.
+type (
+	// NodeType describes one kind of server node (cores, DVFS ladder,
+	// power parameters).
+	NodeType = hardware.NodeType
+	// PowerParams holds a node type's power-model parameters.
+	PowerParams = hardware.PowerParams
+	// DVFS describes a node type's frequency ladder.
+	DVFS = hardware.DVFS
+	// Catalog is a registry of node types.
+	Catalog = hardware.Catalog
+	// SwitchModel accounts for wimpy-side aggregation switches.
+	SwitchModel = hardware.SwitchModel
+
+	// Workload is a service-demand profile of one program.
+	Workload = workload.Profile
+	// Demand is the per-work-unit resource cost on one node type.
+	Demand = workload.Demand
+	// WorkloadRegistry holds workload profiles by name.
+	WorkloadRegistry = workload.Registry
+
+	// Group is a homogeneous slice of a configuration.
+	Group = cluster.Group
+	// Config is a heterogeneous cluster configuration.
+	Config = cluster.Config
+	// Limit bounds configuration-space enumeration for one node type.
+	Limit = cluster.Limit
+	// BudgetSpec describes a fixed peak-power envelope for mixes.
+	BudgetSpec = cluster.BudgetSpec
+	// Mix is one point on a budget substitution ladder.
+	Mix = cluster.Mix
+
+	// Result is the time-energy model outcome for one job.
+	Result = model.Result
+	// ModelOptions selects model variants.
+	ModelOptions = model.Options
+
+	// Analysis couples a model result with the utilization sweep.
+	Analysis = energyprop.Analysis
+	// Curve is a power-versus-utilization curve.
+	Curve = energyprop.Curve
+	// Metrics bundles DPR, IPR, EPM and LDR for one curve.
+	Metrics = energyprop.Metrics
+	// Reference normalizes configuration curves against a shared peak.
+	Reference = energyprop.Reference
+
+	// MD1 is the paper's M/D/1 queueing model.
+	MD1 = queueing.MD1
+
+	// ParetoPoint is one evaluated configuration on the energy-deadline
+	// plane.
+	ParetoPoint = pareto.Point
+
+	// SimEffects are the simulator's second-order behaviours.
+	SimEffects = simulator.Effects
+	// SimResult is a discrete-event simulation outcome.
+	SimResult = simulator.Result
+	// ValidationRow is one model-versus-measured comparison.
+	ValidationRow = simulator.ValidationRow
+	// Meter is the simulated wall power instrument.
+	Meter = powermeter.Meter
+
+	// Suite drives the per-table/per-figure experiments.
+	Suite = analysis.Suite
+	// Series is one labelled figure data series.
+	Series = report.Series
+
+	// AdaptivePolicy constrains the dynamic-adaptation planner.
+	AdaptivePolicy = adaptive.Policy
+	// AdaptivePlan is a load-dependent configuration ensemble.
+	AdaptivePlan = adaptive.Ensemble
+
+	// Watts, Joules, Seconds, Hertz, Cycles and Bytes are the quantity
+	// types used across the API.
+	Watts   = units.Watts
+	Joules  = units.Joules
+	Seconds = units.Seconds
+	Hertz   = units.Hertz
+	Cycles  = units.Cycles
+	Bytes   = units.Bytes
+)
+
+// NewWorkload creates an empty workload profile to which per-node-type
+// demand vectors are added with SetDemand. jobUnits is the amount of
+// work in one job; unit names the unit of work (e.g. "frames").
+func NewWorkload(name, unit string, jobUnits float64) *Workload {
+	return workload.NewProfile(name, workload.DomainSynthetic, unit, jobUnits)
+}
+
+// DefaultCatalog returns the A9/K10 catalog of the paper's Table 5 plus
+// the repository's extension node types (A15, XeonE5).
+func DefaultCatalog() *Catalog { return hardware.DefaultCatalog() }
+
+// DefaultSwitch returns the paper's 20 W-per-8-wimpy-nodes switch model.
+func DefaultSwitch() SwitchModel { return hardware.DefaultSwitch() }
+
+// PaperWorkloads calibrates the six paper workloads (EP, memcached,
+// x264, blackscholes, Julius, RSA-2048) against the catalog.
+func PaperWorkloads(c *Catalog) (*WorkloadRegistry, error) { return workload.PaperRegistry(c) }
+
+// PaperWorkloadNames lists the six paper workloads in table order.
+func PaperWorkloadNames() []string { return workload.PaperNames() }
+
+// NewConfig builds a validated heterogeneous configuration.
+func NewConfig(groups ...Group) (Config, error) { return cluster.NewConfig(groups...) }
+
+// FullNodes returns a group of n nodes with all cores at max frequency.
+func FullNodes(t *NodeType, n int) Group { return cluster.FullNodes(t, n) }
+
+// Evaluate runs the Table 2 time-energy model for one job.
+func Evaluate(cfg Config, wl *Workload) (Result, error) {
+	return model.Evaluate(cfg, wl, model.Options{})
+}
+
+// Analyze evaluates the model and prepares the utilization sweep with
+// the default 100-panel resolution.
+func Analyze(cfg Config, wl *Workload) (*Analysis, error) {
+	return energyprop.Analyze(cfg, wl, model.Options{}, 100)
+}
+
+// ProportionalityMetrics is a convenience wrapper: model + sweep +
+// Table 3 metrics in one call.
+func ProportionalityMetrics(cfg Config, wl *Workload) (Metrics, error) {
+	a, err := Analyze(cfg, wl)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return a.Metrics(), nil
+}
+
+// ParetoFrontier enumerates the configuration space under limits,
+// evaluates the workload and returns the energy-deadline frontier.
+func ParetoFrontier(limits []Limit, wl *Workload) ([]ParetoPoint, error) {
+	return pareto.FrontierFor(limits, wl, model.Options{})
+}
+
+// DefaultBudget returns the paper's 1 kW A9/K10 budget specification.
+func DefaultBudget(c *Catalog) (BudgetSpec, error) { return cluster.DefaultBudget(c) }
+
+// Simulate runs the discrete-event cluster simulator with the default
+// effects and meter.
+func Simulate(cfg Config, wl *Workload, seed uint64) (SimResult, error) {
+	return simulator.Run(cfg, wl, simulator.DefaultEffects(), powermeter.DefaultMeter(), seed)
+}
+
+// Validate compares the analytical model against a simulated measured
+// run (a Table 4 row).
+func Validate(cfg Config, wl *Workload, seed uint64) (ValidationRow, error) {
+	return simulator.Validate(cfg, wl, simulator.DefaultEffects(), powermeter.DefaultMeter(), seed)
+}
+
+// NewSuite builds the default experiment suite used by cmd/reproduce and
+// the benchmark harness.
+func NewSuite() (*Suite, error) { return analysis.NewSuite() }
+
+// PlanAdaptive computes the load-dependent configuration ensemble over
+// the candidates (see internal/adaptive): at each load fraction of the
+// grid, the cheapest feasible candidate serves the traffic.
+func PlanAdaptive(candidates []*Analysis, policy AdaptivePolicy, grid []float64) (*AdaptivePlan, error) {
+	return adaptive.Plan(candidates, policy, grid)
+}

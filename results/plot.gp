@@ -1,0 +1,42 @@
+# Gnuplot recipes for the reproduced figures. Run from the results
+# directory after `go run ./cmd/reproduce -out results`:
+#
+#   gnuplot -persist plot.gp            # all figures to PNG files
+#
+# Each .dat file uses gnuplot's index format: one block per series,
+# labelled by the leading comment.
+
+set terminal pngcairo size 800,560 font ",11"
+set key bottom right
+set grid
+
+set output "fig5_ep.png"
+set title "Figure 5a: energy proportionality, EP"
+set xlabel "Utilization [%]"
+set ylabel "Peak power [%]"
+plot for [i=0:2] "fig5_ep.dat" index i using 1:2 with linespoints title columnheader(1)
+
+set output "fig7_cluster_ep.png"
+set title "Figure 7: cluster-wide energy proportionality of EP"
+plot for [i=0:5] "fig7_cluster_ep.dat" index i using 1:2 with linespoints title columnheader(1)
+
+set output "fig8_cluster_ppr.png"
+set title "Figure 8: cluster-wide PPR of EP"
+set ylabel "PPR [ops/W]"
+plot for [i=0:4] "fig8_cluster_ppr.dat" index i using 1:2 with linespoints title columnheader(1)
+
+set output "fig9_pareto_ep.png"
+set title "Figure 9: Pareto configurations of EP vs reference ideal"
+set ylabel "Peak power [% of reference]"
+plot for [i=0:6] "fig9_pareto_ep.dat" index i using 1:2 with linespoints title columnheader(1)
+
+set output "fig11_resp_ep.png"
+set title "Figure 11: p95 response time, EP"
+set ylabel "95th percentile response time [s]"
+set logscale y
+plot for [i=0:4] "fig11_resp_ep.dat" index i using 1:2 with linespoints title columnheader(1)
+
+set output "fig12_resp_x264.png"
+set title "Figure 12: p95 response time, x264"
+plot for [i=0:4] "fig12_resp_x264.dat" index i using 1:2 with linespoints title columnheader(1)
+unset logscale y
