@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench reproduce examples fuzz clean
+.PHONY: all build test test-race race vet bench reproduce examples fuzz clean
 
 all: build vet test
 
@@ -19,10 +19,14 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Alias: the observability docs and CI refer to `make race`.
+race: test-race
+
 # One benchmark iteration per experiment: regenerates every table/figure
-# metric quickly. Drop -benchtime for full statistical runs.
+# metric quickly. Drop -benchtime for full statistical runs. Output also
+# lands in bench.out so successive runs can be diffed / benchstat'd.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+	$(GO) test -bench=. -benchmem -benchtime=1x ./... | tee bench.out
 
 # Regenerate every table, figure, extension study and SUMMARY.txt.
 reproduce:
@@ -40,4 +44,4 @@ fuzz:
 	$(GO) test ./internal/cli/ -fuzz FuzzParseMix -fuzztime 30s
 
 clean:
-	rm -rf results
+	rm -rf results bench.out

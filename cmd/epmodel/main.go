@@ -14,7 +14,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"repro/internal/cli"
 	"repro/internal/model"
@@ -31,8 +30,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*wlName, *mix, *cores, *freqGHz, *list, *nodes, *wls); err != nil {
-		fmt.Fprintln(os.Stderr, "epmodel:", err)
-		os.Exit(1)
+		cli.Fatal("epmodel", err)
 	}
 }
 

@@ -31,8 +31,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*wlName, *mix, *ref, *pct, *plot, *nodes, *wls); err != nil {
-		fmt.Fprintln(os.Stderr, "epprop:", err)
-		os.Exit(1)
+		cli.Fatal("epprop", err)
 	}
 }
 

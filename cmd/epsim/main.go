@@ -11,7 +11,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"repro/internal/characterize"
 	"repro/internal/cli"
@@ -30,8 +29,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*wlName, *mix, *seed, *validate, *charNode, *nodes, *wls); err != nil {
-		fmt.Fprintln(os.Stderr, "epsim:", err)
-		os.Exit(1)
+		cli.Fatal("epsim", err)
 	}
 }
 

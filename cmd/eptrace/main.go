@@ -41,12 +41,19 @@ func main() {
 	showPlan := flag.Bool("plan", false, "print the per-load configuration plan table")
 	nodes := flag.String("nodes", "", "JSON file with extra node types")
 	wls := flag.String("workloads", "", "JSON file with extra workload profiles")
+	tel := cli.AddTelemetryFlags(nil)
 	flag.Parse()
 
-	if err := run(*wlName, *mixes, *shapeName, *mean, *amplitude, *base, *peak, *levels,
-		*duration, *step, *slo, *hysteresis, *showPlan, *nodes, *wls); err != nil {
-		fmt.Fprintln(os.Stderr, "eptrace:", err)
-		os.Exit(1)
+	if err := tel.Start(); err != nil {
+		cli.Fatal("eptrace", err)
+	}
+	err := run(*wlName, *mixes, *shapeName, *mean, *amplitude, *base, *peak, *levels,
+		*duration, *step, *slo, *hysteresis, *showPlan, *nodes, *wls)
+	if cerr := tel.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		cli.Fatal("eptrace", err)
 	}
 }
 

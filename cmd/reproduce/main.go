@@ -6,6 +6,7 @@
 // Usage:
 //
 //	reproduce [-out results] [-seed 1] [-only t4,f9,...]
+//	          [-progress 1000] [-metrics m.json] [-trace t.trace.json] [-pprof addr]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/cli"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -24,15 +26,23 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	seed := flag.Uint64("seed", 1, "seed for the simulated validation runs")
 	only := flag.String("only", "", "comma-separated experiment ids to run (t4,t6,t7,t8,f2,f5,f6,f7,f8,f9,f10,f11,f12,ext,summary); empty runs all")
+	progress := flag.Int("progress", 0, "print sweep progress to stderr every N evaluated configurations (0 disables)")
+	tel := cli.AddTelemetryFlags(nil)
 	flag.Parse()
 
-	if err := run(*out, *seed, *only); err != nil {
-		fmt.Fprintln(os.Stderr, "reproduce:", err)
-		os.Exit(1)
+	if err := tel.Start(); err != nil {
+		cli.Fatal("reproduce", err)
+	}
+	err := run(*out, *seed, *only, *progress)
+	if cerr := tel.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		cli.Fatal("reproduce", err)
 	}
 }
 
-func run(outDir string, seed uint64, only string) error {
+func run(outDir string, seed uint64, only string, progressEvery int) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -57,6 +67,10 @@ func run(outDir string, seed uint64, only string) error {
 	s, err := analysis.NewSuite()
 	if err != nil {
 		return err
+	}
+	if progressEvery > 0 {
+		s.ProgressEvery = progressEvery
+		s.ProgressW = os.Stderr
 	}
 
 	writeTable := func(name string, render func(*os.File) error) error {

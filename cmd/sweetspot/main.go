@@ -24,6 +24,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/model"
 	"repro/internal/pareto"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -37,15 +38,23 @@ func main() {
 	dvfs := flag.Bool("dvfs", false, "also explore reduced cores and frequencies")
 	nodes := flag.String("nodes", "", "JSON file with extra node types")
 	wls := flag.String("workloads", "", "JSON file with extra workload profiles")
+	progress := flag.Int("progress", 0, "print exploration progress to stderr every N configurations (0 disables)")
+	tel := cli.AddTelemetryFlags(nil)
 	flag.Parse()
 
-	if err := run(*wlName, *deadline, *energyJ, *powerW, *maxA9, *maxK10, *dvfs, *nodes, *wls); err != nil {
-		fmt.Fprintln(os.Stderr, "sweetspot:", err)
-		os.Exit(1)
+	if err := tel.Start(); err != nil {
+		cli.Fatal("sweetspot", err)
+	}
+	err := run(*wlName, *deadline, *energyJ, *powerW, *maxA9, *maxK10, *dvfs, *nodes, *wls, *progress)
+	if cerr := tel.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		cli.Fatal("sweetspot", err)
 	}
 }
 
-func run(wlName string, deadline time.Duration, energyJ, powerW float64, maxA9, maxK10 int, dvfs bool, nodesPath, wlsPath string) error {
+func run(wlName string, deadline time.Duration, energyJ, powerW float64, maxA9, maxK10 int, dvfs bool, nodesPath, wlsPath string, progressEvery int) error {
 	catalog, registry, err := cli.LoadEnvironment(nodesPath, wlsPath)
 	if err != nil {
 		return err
@@ -68,10 +77,13 @@ func run(wlName string, deadline time.Duration, energyJ, powerW float64, maxA9, 
 		{Type: a9, MaxNodes: maxA9, FixCoresAndFreq: !dvfs},
 		{Type: k10, MaxNodes: maxK10, FixCoresAndFreq: !dvfs},
 	}
-	fmt.Printf("exploring %d configurations for %s...\n", cluster.SpaceSize(limits), wl.Name)
+	total := cluster.SpaceSize(limits)
+	fmt.Printf("exploring %d configurations for %s...\n", total, wl.Name)
+	pr := telemetry.NewProgress(os.Stderr, "sweetspot", int64(total), int64(progressEvery))
 
 	var points []pareto.Point
 	err = cluster.Enumerate(limits, func(cfg cluster.Config) bool {
+		pr.Tick()
 		if powerW > 0 {
 			peak := float64(cfg.NominalPeak()) + float64(sw.Power(cfg.Count("A9")))
 			if peak > powerW {
@@ -91,6 +103,7 @@ func run(wlName string, deadline time.Duration, energyJ, powerW float64, maxA9, 
 	if err != nil {
 		return err
 	}
+	pr.Done()
 	frontier := pareto.Frontier(points)
 	if len(frontier) == 0 {
 		return fmt.Errorf("no feasible configuration under the power budget")

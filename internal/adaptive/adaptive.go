@@ -28,6 +28,7 @@ import (
 	"repro/internal/energyprop"
 	"repro/internal/queueing"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 // Policy constrains which candidate may serve a given load.
@@ -103,6 +104,19 @@ func Plan(candidates []*energyprop.Analysis, policy Policy, grid []float64) (*En
 	}
 	policy = policy.withDefaults()
 
+	// Telemetry: the reconfiguration behaviour of the planner —
+	// decisions taken, switches, hysteresis suppressions (a thrashing
+	// controller shows a high switch or suppression rate) — all no-ops
+	// without an installed registry.
+	reg := telemetry.Global()
+	span := reg.Tracer().Start("adaptive.plan").
+		Arg("candidates", len(candidates)).Arg("grid", len(grid))
+	defer span.End()
+	decisionsCnt := reg.Counter("adaptive.decisions")
+	switchCnt := reg.Counter("adaptive.switches")
+	suppressedCnt := reg.Counter("adaptive.hysteresis_suppressions")
+	infeasibleCnt := reg.Counter("adaptive.infeasible_points")
+
 	// The reference is the candidate with the highest job throughput
 	// (lowest service time).
 	ref := 0
@@ -165,8 +179,13 @@ func Plan(candidates []*energyprop.Analysis, policy Policy, grid []float64) (*En
 			if curPower, curRho, curResp, ok := feasible(prevChoice); ok {
 				if bestPower > curPower*(1-policy.Hysteresis) {
 					best, bestPower, bestUtil, bestResp = prevChoice, curPower, curRho, curResp
+					suppressedCnt.Inc()
 				}
 			}
+		}
+		decisionsCnt.Inc()
+		if best < 0 {
+			infeasibleCnt.Inc()
 		}
 		d := Decision{LoadFrac: load, Arrival: arrival, Chosen: best}
 		if best >= 0 {
@@ -183,6 +202,7 @@ func Plan(candidates []*energyprop.Analysis, policy Policy, grid []float64) (*En
 			}
 			if prevChoice >= 0 && prevChoice != best {
 				e.Switches++
+				switchCnt.Inc()
 			}
 			prevChoice = best
 		}

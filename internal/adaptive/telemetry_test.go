@@ -1,0 +1,52 @@
+package adaptive
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// TestPlanTelemetry: the planner reports decisions, switches and
+// hysteresis suppressions, and the counters agree with the returned
+// ensemble.
+func TestPlanTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	telemetry.SetGlobal(reg)
+	defer telemetry.SetGlobal(nil)
+
+	// Heterogeneous candidates whose power curves cross while both stay
+	// feasible: the greedy plan makes power-motivated (not only
+	// capacity-forced) switches, which hysteresis then suppresses.
+	cands := candidates(t, workload.NameEP, [][2]int{{32, 12}, {32, 0}, {8, 12}})
+	grid := stats.Linspace(0.05, 0.9, 35)
+
+	free, err := Plan(cands, Policy{}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("adaptive.decisions").Value(); got != uint64(len(grid)) {
+		t.Errorf("decisions = %d, want %d", got, len(grid))
+	}
+	if got := reg.Counter("adaptive.switches").Value(); got != uint64(free.Switches) {
+		t.Errorf("switches counter = %d, ensemble reports %d", got, free.Switches)
+	}
+
+	// A heavy hysteresis margin suppresses the power-motivated switches,
+	// and every suppression shows up in the counter.
+	damped, err := Plan(cands, Policy{Hysteresis: 0.5}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suppressed := reg.Counter("adaptive.hysteresis_suppressions").Value()
+	if suppressed == 0 {
+		t.Error("expected hysteresis suppressions on crossing power curves")
+	}
+	if damped.Switches > free.Switches {
+		t.Errorf("hysteresis increased switches: %d > %d", damped.Switches, free.Switches)
+	}
+	if reg.Tracer().Len() < 2 {
+		t.Errorf("spans recorded = %d, want one per Plan call", reg.Tracer().Len())
+	}
+}

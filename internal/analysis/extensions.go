@@ -143,8 +143,10 @@ func (s *Suite) FullSpaceFrontier(wl string, maxA9, maxK10 int) (*FullSpaceResul
 
 	// Stream the enumeration: evaluating and keeping only a running
 	// candidate set avoids materializing the whole space.
+	pr := s.progress("full-space "+wl, res.SpaceSize)
 	var points []pareto.Point
 	err = cluster.Enumerate(limits, func(cfg cluster.Config) bool {
+		pr.Tick()
 		r, err := model.Evaluate(cfg, p, s.Opt)
 		if err != nil {
 			return true // workload cannot run here; skip
@@ -159,6 +161,7 @@ func (s *Suite) FullSpaceFrontier(wl string, maxA9, maxK10 int) (*FullSpaceResul
 	if err != nil {
 		return nil, err
 	}
+	pr.Done()
 	res.Frontier = pareto.Frontier(points)
 	for _, pt := range res.Frontier {
 		for _, g := range pt.Config.Groups {

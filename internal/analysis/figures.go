@@ -200,7 +200,9 @@ func (s *Suite) FigurePareto(wl string, maxCurves int) (*ParetoFigure, error) {
 		{Type: arm, MaxNodes: 32, FixCoresAndFreq: true},
 		{Type: amd, MaxNodes: 12, FixCoresAndFreq: true},
 	}
-	frontier, err := pareto.FrontierFor(limits, p, s.Opt)
+	frontier, err := pareto.FrontierSweep(limits, p, s.Opt, pareto.SweepOptions{
+		Progress: s.progress("pareto "+wl, cluster.SpaceSize(limits)),
+	})
 	if err != nil {
 		return nil, err
 	}

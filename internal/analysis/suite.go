@@ -6,6 +6,7 @@ package analysis
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/cluster"
 	"repro/internal/energyprop"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/powermeter"
 	"repro/internal/simulator"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -28,6 +30,12 @@ type Suite struct {
 	Meter   powermeter.Meter
 	// CurvePanels is the sampling resolution of utilization curves.
 	CurvePanels int
+	// ProgressEvery > 0 makes the configuration-space sweeps report
+	// "evaluated/total" counts to ProgressW at that count interval —
+	// deterministic (count-based, never wall-clock). Zero disables.
+	ProgressEvery int
+	// ProgressW receives the progress lines; nil disables reporting.
+	ProgressW io.Writer
 }
 
 // NewSuite builds the default paper setup: A9/K10 catalog, the six
@@ -93,6 +101,12 @@ func (s *Suite) mix(nA9, nK10 int) (cluster.Config, error) {
 		groups = append(groups, cluster.FullNodes(k10, nK10))
 	}
 	return cluster.NewConfig(groups...)
+}
+
+// progress returns a count-based progress reporter for a sweep over
+// total configurations, or nil (a no-op) when reporting is disabled.
+func (s *Suite) progress(label string, total int) *telemetry.Progress {
+	return telemetry.NewProgress(s.ProgressW, label, int64(total), int64(s.ProgressEvery))
 }
 
 // analyze evaluates model + curve for a config/workload pair.

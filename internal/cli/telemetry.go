@@ -1,0 +1,124 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// Fatal prints err in the uniform "<tool>: error: <err>" form on stderr
+// and exits with status 1. Every cmd/* main routes its top-level error
+// through it so scripted callers see one predictable failure shape.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: error: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// Telemetry carries the shared observability flags of the CLI tools and
+// the collection state behind them. Zero flags means zero overhead: no
+// registry is installed and the instrumented packages stay on their
+// nil no-op path.
+type Telemetry struct {
+	// MetricsPath, when set, receives a JSON metrics snapshot on Close.
+	MetricsPath string
+	// TracePath, when set, receives a Chrome trace-event file on Close
+	// (load it at https://ui.perfetto.dev or chrome://tracing).
+	TracePath string
+	// PprofAddr, when set, serves net/http/pprof from Start to Close.
+	PprofAddr string
+
+	reg *telemetry.Registry
+	ln  net.Listener
+}
+
+// AddTelemetryFlags registers the shared -metrics, -trace and -pprof
+// flags on fs (nil means flag.CommandLine) and returns the Telemetry
+// that will honor them after Start.
+func AddTelemetryFlags(fs *flag.FlagSet) *Telemetry {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	t := &Telemetry{}
+	fs.StringVar(&t.MetricsPath, "metrics", "", "write a JSON metrics snapshot to this file on exit")
+	fs.StringVar(&t.TracePath, "trace", "", "write a Chrome trace-event file (Perfetto-loadable) to this file on exit")
+	fs.StringVar(&t.PprofAddr, "pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
+	return t
+}
+
+// Start installs a process-global telemetry registry when -metrics or
+// -trace asked for output, and brings up the pprof server when -pprof
+// did. Call after flag parsing and before the tool's work; pair with
+// Close.
+func (t *Telemetry) Start() error {
+	if t == nil {
+		return nil
+	}
+	if t.MetricsPath != "" || t.TracePath != "" {
+		t.reg = telemetry.New()
+		telemetry.SetGlobal(t.reg)
+	}
+	if t.PprofAddr != "" {
+		ln, err := net.Listen("tcp", t.PprofAddr)
+		if err != nil {
+			return fmt.Errorf("cli: pprof: %w", err)
+		}
+		t.ln = ln
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil) //nolint:errcheck // best-effort debug server
+	}
+	return nil
+}
+
+// Close stops the pprof server, writes the requested metrics and trace
+// files, and uninstalls the global registry. Safe to call when Start
+// never ran or installed nothing.
+func (t *Telemetry) Close() error {
+	if t == nil {
+		return nil
+	}
+	if t.ln != nil {
+		t.ln.Close()
+		t.ln = nil
+	}
+	if t.reg == nil {
+		return nil
+	}
+	reg := t.reg
+	t.reg = nil
+	telemetry.SetGlobal(nil)
+	if t.MetricsPath != "" {
+		if err := writeTo(t.MetricsPath, reg.WriteJSON); err != nil {
+			return fmt.Errorf("cli: metrics: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "metrics: wrote", t.MetricsPath)
+	}
+	if t.TracePath != "" {
+		if err := writeTo(t.TracePath, reg.Tracer().WriteChromeTrace); err != nil {
+			return fmt.Errorf("cli: trace: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "trace: wrote", t.TracePath)
+		if d := reg.Tracer().Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "trace: %d spans dropped past the event cap\n", d)
+		}
+	}
+	return nil
+}
+
+// writeTo creates path and streams render into it.
+func writeTo(path string, render func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

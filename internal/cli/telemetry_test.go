@@ -1,0 +1,109 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryFlagsRoundTrip: parsing -metrics/-trace, running an
+// instrumented workload and closing produces valid JSON files with the
+// recorded values.
+func TestTelemetryFlagsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.json")
+	trace := filepath.Join(dir, "t.trace.json")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tel := AddTelemetryFlags(fs)
+	if err := fs.Parse([]string{"-metrics", metrics, "-trace", trace}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Start(); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.Global()
+	if reg == nil {
+		t.Fatal("Start did not install a global registry")
+	}
+	reg.Counter("test.widgets").Add(7)
+	reg.Tracer().Start("test.phase").End()
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if telemetry.Global() != nil {
+		t.Error("Close did not uninstall the global registry")
+	}
+
+	var snap telemetry.Snapshot
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if snap.Counters["test.widgets"] != 7 {
+		t.Errorf("metrics counter = %d, want 7", snap.Counters["test.widgets"])
+	}
+	var events []map[string]any
+	raw, err = os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(events) != 1 || events[0]["name"] != "test.phase" {
+		t.Errorf("trace events = %v, want one test.phase", events)
+	}
+}
+
+// TestTelemetryDisabled: with no flags set, Start installs nothing and
+// Close writes nothing.
+func TestTelemetryDisabled(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tel := AddTelemetryFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if telemetry.Global() != nil {
+		t.Error("disabled telemetry installed a registry")
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Nil receiver is a no-op end to end.
+	var nilTel *Telemetry
+	if err := nilTel.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nilTel.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryPprof: -pprof serves the index on a loopback listener.
+func TestTelemetryPprof(t *testing.T) {
+	tel := &Telemetry{PprofAddr: "127.0.0.1:0"}
+	if err := tel.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+	resp, err := http.Get("http://" + tel.ln.Addr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d, want 200", resp.StatusCode)
+	}
+}

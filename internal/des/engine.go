@@ -8,6 +8,8 @@ import (
 	"container/heap"
 	"errors"
 	"math"
+
+	"repro/internal/telemetry"
 )
 
 // Event is a scheduled callback.
@@ -60,11 +62,33 @@ type Engine struct {
 	queue  eventQueue
 	seq    uint64
 	nsteps uint64
+
+	// Instruments; nil (a no-op costing ~1ns per touch) unless a
+	// telemetry registry is installed. Counters are shared across all
+	// engines reporting to the same registry, aggregating fleet-wide.
+	evScheduled *telemetry.Counter
+	evFired     *telemetry.Counter
+	evCancelled *telemetry.Counter
+	queueDepth  *telemetry.Gauge
+	maxQueueLen *telemetry.Gauge
 }
 
-// New returns an engine with the clock at zero.
+// New returns an engine with the clock at zero, instrumented against
+// the global telemetry registry if one is installed.
 func New() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.Instrument(telemetry.Global())
+	return e
+}
+
+// Instrument points the engine's counters at reg. A nil reg disables
+// instrumentation (the default when no global registry is installed).
+func (e *Engine) Instrument(reg *telemetry.Registry) {
+	e.evScheduled = reg.Counter("des.events_scheduled")
+	e.evFired = reg.Counter("des.events_fired")
+	e.evCancelled = reg.Counter("des.events_cancelled")
+	e.queueDepth = reg.Gauge("des.queue_depth")
+	e.maxQueueLen = reg.Gauge("des.queue_depth_max")
 }
 
 // Now returns the current virtual time in seconds.
@@ -86,6 +110,9 @@ func (e *Engine) Schedule(delay float64, action func()) (*Event, error) {
 	ev := &Event{Time: e.now + delay, Action: action, seq: e.seq}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	e.evScheduled.Inc()
+	e.queueDepth.Set(float64(len(e.queue)))
+	e.maxQueueLen.Max(float64(len(e.queue)))
 	return ev, nil
 }
 
@@ -100,9 +127,13 @@ func (e *Engine) ScheduleAt(t float64, action func()) (*Event, error) {
 
 // Cancel marks a pending event dead; it will be skipped when popped.
 func (e *Engine) Cancel(ev *Event) {
-	if ev != nil {
-		ev.dead = true
+	if ev == nil {
+		return
 	}
+	if !ev.dead && ev.index >= 0 { // still pending: count the first cancel
+		e.evCancelled.Inc()
+	}
+	ev.dead = true
 }
 
 // Run executes events until the queue empties or the clock would pass
@@ -129,6 +160,8 @@ func (e *Engine) Run(until float64) uint64 {
 		// windows longer than the workload read the correct duration.
 		e.now = until
 	}
+	e.evFired.Add(executed)
+	e.queueDepth.Set(float64(len(e.queue)))
 	return executed
 }
 

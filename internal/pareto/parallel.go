@@ -3,11 +3,67 @@ package pareto
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// SweepOptions bundles the knobs of a parallel frontier sweep.
+type SweepOptions struct {
+	// Workers is the fan-out width; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is ticked once per evaluated (or skipped)
+	// configuration — the count-based reporter behind the CLIs'
+	// -progress flag.
+	Progress *telemetry.Progress
+}
+
+// sweepInstruments caches the registry lookups a sweep needs, so the
+// hot per-configuration loop touches only (possibly nil) instrument
+// pointers.
+type sweepInstruments struct {
+	evaluated *telemetry.Counter
+	skipped   *telemetry.Counter
+	busyNanos *telemetry.Counter
+	latency   *telemetry.Histogram
+	tracer    *telemetry.Tracer
+	enabled   bool // whether wall-clock timing should be collected
+}
+
+func newSweepInstruments() sweepInstruments {
+	reg := telemetry.Global()
+	return sweepInstruments{
+		evaluated: reg.Counter("pareto.configs_evaluated"),
+		skipped:   reg.Counter("pareto.configs_skipped"),
+		busyNanos: reg.Counter("pareto.worker_busy_nanos"),
+		latency: reg.Histogram("pareto.eval_seconds",
+			telemetry.ExponentialBuckets(1e-7, 10, 9)),
+		tracer:  reg.Tracer(),
+		enabled: reg != nil,
+	}
+}
+
+// evalOne runs the model for one configuration, recording latency and
+// outcome. It returns nil for unsupported configurations.
+func (ins *sweepInstruments) evalOne(cfg cluster.Config, wl *workload.Profile, opt model.Options) *Point {
+	var began time.Time
+	if ins.enabled {
+		began = time.Now()
+	}
+	res, err := model.Evaluate(cfg, wl, opt)
+	if ins.enabled {
+		ins.latency.Observe(time.Since(began).Seconds())
+	}
+	if err != nil {
+		ins.skipped.Inc()
+		return nil
+	}
+	ins.evaluated.Inc()
+	return &Point{Config: cfg, Time: res.Time, Energy: res.Energy, Result: res}
+}
 
 // EvaluateParallel evaluates the model over the configurations with a
 // worker pool. The model itself is pure, so fan-out is embarrassingly
@@ -15,6 +71,10 @@ import (
 // unlike channel-collection order), with unsupported configurations
 // skipped exactly as in Evaluate. workers <= 0 uses GOMAXPROCS.
 func EvaluateParallel(configs []cluster.Config, wl *workload.Profile, opt model.Options, workers int) []Point {
+	return evaluateParallel(configs, wl, opt, workers, nil)
+}
+
+func evaluateParallel(configs []cluster.Config, wl *workload.Profile, opt model.Options, workers int, pr *telemetry.Progress) []Point {
 	if len(configs) == 0 {
 		return nil
 	}
@@ -24,9 +84,21 @@ func EvaluateParallel(configs []cluster.Config, wl *workload.Profile, opt model.
 	if workers > len(configs) {
 		workers = len(configs)
 	}
+	ins := newSweepInstruments()
 	if workers == 1 {
-		return Evaluate(configs, wl, opt)
+		out := make([]Point, 0, len(configs))
+		for _, cfg := range configs {
+			if p := ins.evalOne(cfg, wl, opt); p != nil {
+				out = append(out, *p)
+			}
+			pr.Tick()
+		}
+		return out
 	}
+
+	span := ins.tracer.Start("pareto.evaluate_parallel").
+		Arg("configs", len(configs)).Arg("workers", workers)
+	defer span.End()
 
 	// Fixed-slot results preserve input order and need no locking:
 	// each index is written by exactly one worker. Work is handed out
@@ -37,16 +109,25 @@ func EvaluateParallel(configs []cluster.Config, wl *workload.Profile, opt model.
 	var wg sync.WaitGroup
 	next := make(chan [2]int)
 	for w := 0; w < workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for r := range next {
+				var wspan *telemetry.Span
+				var began time.Time
+				if ins.enabled {
+					began = time.Now()
+					wspan = ins.tracer.StartOn(w+1, "pareto.block").
+						Arg("lo", r[0]).Arg("hi", r[1])
+				}
 				for i := r[0]; i < r[1]; i++ {
-					res, err := model.Evaluate(configs[i], wl, opt)
-					if err != nil {
-						continue
-					}
-					results[i] = &Point{Config: configs[i], Time: res.Time, Energy: res.Energy, Result: res}
+					results[i] = ins.evalOne(configs[i], wl, opt)
+					pr.Tick()
+				}
+				if ins.enabled {
+					ins.busyNanos.Add(uint64(time.Since(began).Nanoseconds()))
+					wspan.End()
 				}
 			}
 		}()
@@ -75,6 +156,15 @@ func EvaluateParallel(configs []cluster.Config, wl *workload.Profile, opt model.
 // chunks (bounding memory to the chunk size plus the running frontier),
 // and folds each chunk into the frontier.
 func FrontierForParallel(limits []cluster.Limit, wl *workload.Profile, opt model.Options, workers int) ([]Point, error) {
+	return FrontierSweep(limits, wl, opt, SweepOptions{Workers: workers})
+}
+
+// FrontierSweep is the fully-instrumented frontier pipeline: chunked
+// parallel evaluation with optional progress reporting and a span per
+// sweep. FrontierForParallel and the CLIs are thin wrappers over it.
+func FrontierSweep(limits []cluster.Limit, wl *workload.Profile, opt model.Options, sw SweepOptions) ([]Point, error) {
+	span := telemetry.StartSpan("pareto.frontier_sweep").Arg("workload", wl.Name)
+	defer span.End()
 	const chunk = 8192
 	var frontier []Point
 	batch := make([]cluster.Config, 0, chunk)
@@ -82,7 +172,7 @@ func FrontierForParallel(limits []cluster.Limit, wl *workload.Profile, opt model
 		if len(batch) == 0 {
 			return
 		}
-		pts := EvaluateParallel(batch, wl, opt, workers)
+		pts := evaluateParallel(batch, wl, opt, sw.Workers, sw.Progress)
 		frontier = Frontier(append(frontier, pts...))
 		batch = batch[:0]
 	}
@@ -97,5 +187,6 @@ func FrontierForParallel(limits []cluster.Limit, wl *workload.Profile, opt model
 		return nil, err
 	}
 	flush()
+	sw.Progress.Done()
 	return Frontier(frontier), nil
 }

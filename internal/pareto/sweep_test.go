@@ -1,0 +1,111 @@
+package pareto
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// sweepSpace returns a small enumerable limit set and workload for
+// sweep tests.
+func sweepSpace(t testing.TB) ([]cluster.Limit, *workload.Profile) {
+	t.Helper()
+	cat := hardware.DefaultCatalog()
+	reg, err := workload.PaperRegistry(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a9, err := cat.Lookup("A9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k10, err := cat.Lookup("K10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []cluster.Limit{
+		{Type: a9, MaxNodes: 8, FixCoresAndFreq: true},
+		{Type: k10, MaxNodes: 4, FixCoresAndFreq: true},
+	}, wl
+}
+
+// TestSweepTelemetryAndProgress: an instrumented parallel sweep counts
+// every configuration exactly once (evaluated + skipped), measures
+// per-evaluation latency, accumulates worker busy time, and drives the
+// deterministic progress reporter to the full count.
+func TestSweepTelemetryAndProgress(t *testing.T) {
+	reg := telemetry.New()
+	telemetry.SetGlobal(reg)
+	defer telemetry.SetGlobal(nil)
+
+	limits, wl := sweepSpace(t)
+	total := cluster.SpaceSize(limits)
+	var buf bytes.Buffer
+	pr := telemetry.NewProgress(&buf, "test sweep", int64(total), 50)
+
+	front, err := FrontierSweep(limits, wl, model.Options{}, SweepOptions{Workers: 4, Progress: pr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	if got := pr.Count(); got != int64(total) {
+		t.Errorf("progress ticks = %d, want %d", got, total)
+	}
+	if buf.Len() == 0 {
+		t.Error("progress reporter wrote nothing")
+	}
+	evaluated := reg.Counter("pareto.configs_evaluated").Value()
+	skipped := reg.Counter("pareto.configs_skipped").Value()
+	if evaluated+skipped != uint64(total) {
+		t.Errorf("evaluated %d + skipped %d != space %d", evaluated, skipped, total)
+	}
+	h := reg.Histogram("pareto.eval_seconds", nil)
+	if h.Count() != evaluated+skipped {
+		t.Errorf("latency observations %d != evaluations %d", h.Count(), evaluated+skipped)
+	}
+	if h.Max() <= 0 {
+		t.Error("latency histogram recorded no positive durations")
+	}
+	if reg.Counter("pareto.worker_busy_nanos").Value() == 0 {
+		t.Error("worker busy time not recorded")
+	}
+	if reg.Tracer().Len() == 0 {
+		t.Error("no spans recorded for the sweep")
+	}
+}
+
+// TestSweepMatchesUninstrumented: installing telemetry must not change
+// the frontier.
+func TestSweepMatchesUninstrumented(t *testing.T) {
+	limits, wl := sweepSpace(t)
+	plain, err := FrontierForParallel(limits, wl, model.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	telemetry.SetGlobal(telemetry.New())
+	defer telemetry.SetGlobal(nil)
+	instrumented, err := FrontierForParallel(limits, wl, model.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(instrumented) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(plain), len(instrumented))
+	}
+	for i := range plain {
+		if plain[i].Config.Key() != instrumented[i].Config.Key() {
+			t.Fatalf("frontier point %d differs: %s vs %s",
+				i, plain[i].Config, instrumented[i].Config)
+		}
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"math"
 	"math/big"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // MD1 is an M/D/1 queue: Poisson arrivals at rate Lambda, deterministic
@@ -96,6 +98,9 @@ func crommelinPrec(lambda, t float64) uint {
 // with k = floor(t/D). The terms alternate in sign and grow large before
 // cancelling, so the sum is evaluated in extended precision.
 func (q MD1) WaitCDF(t float64) float64 {
+	// A registry lookup is tens of nanoseconds against the extended-
+	// precision summation below, so per-call counting is safe here.
+	telemetry.Global().Counter("queueing.wait_cdf_calls").Inc()
 	if t < 0 {
 		return 0
 	}
@@ -229,6 +234,10 @@ func (q MD1) WaitPercentile(p float64) (float64, error) {
 	if p < 0 || p >= 100 {
 		return 0, fmt.Errorf("queueing: percentile %g outside [0, 100)", p)
 	}
+	reg := telemetry.Global()
+	reg.Counter("queueing.percentile_searches").Inc()
+	span := reg.Tracer().Start("queueing.wait_percentile").Arg("p", p)
+	defer span.End()
 	target := p / 100
 	if q.WaitCDF(0) >= target {
 		return 0, nil

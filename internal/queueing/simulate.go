@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // SimOptions controls the Monte-Carlo queue simulation.
@@ -51,6 +52,10 @@ func SimulateMD1(q MD1, opt SimOptions) (SimResult, error) {
 	if opt.Warmup >= opt.Jobs {
 		return SimResult{}, errors.New("queueing: warmup must leave jobs to measure")
 	}
+	reg := telemetry.Global()
+	span := reg.Tracer().Start("queueing.simulate_md1").Arg("jobs", opt.Jobs)
+	defer span.End()
+	reg.Counter("queueing.jobs_simulated").Add(uint64(opt.Jobs))
 	rng := stats.NewRNG(opt.Seed)
 	kept := make([]float64, 0, opt.Jobs-opt.Warmup)
 	var sum stats.KahanSum
@@ -92,6 +97,10 @@ func SimulateGG1(arrival, service func(*stats.RNG) float64, opt SimOptions) (Sim
 	if opt.Warmup >= opt.Jobs {
 		return SimResult{}, errors.New("queueing: warmup must leave jobs to measure")
 	}
+	reg := telemetry.Global()
+	span := reg.Tracer().Start("queueing.simulate_gg1").Arg("jobs", opt.Jobs)
+	defer span.End()
+	reg.Counter("queueing.jobs_simulated").Add(uint64(opt.Jobs))
 	rng := stats.NewRNG(opt.Seed)
 	kept := make([]float64, 0, opt.Jobs-opt.Warmup)
 	var sum stats.KahanSum

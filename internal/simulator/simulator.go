@@ -20,6 +20,7 @@ import (
 	"repro/internal/perfcounter"
 	"repro/internal/powermeter"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -149,6 +150,23 @@ func Run(cfg cluster.Config, wl *workload.Profile, eff Effects, meter powermeter
 	master := stats.NewRNG(seed)
 	res := Result{Config: cfg, Workload: wl.Name}
 
+	// Telemetry: per-node busy/idle transitions, completed slices and
+	// virtual finish times. All instruments are nil no-ops unless a
+	// registry is installed; the observed values are virtual-time
+	// quantities, so an instrumented run stays deterministic.
+	reg := telemetry.Global()
+	span := reg.Tracer().Start("simulator.run").
+		Arg("config", cfg.String()).Arg("workload", wl.Name)
+	defer span.End()
+	reg.Counter("simulator.runs").Inc()
+	slicesDone := reg.Counter("simulator.slices_completed")
+	busyTrans := reg.Counter("simulator.node_busy_transitions")
+	idleTrans := reg.Counter("simulator.node_idle_transitions")
+	stragglerCnt := reg.Counter("simulator.stragglers")
+	busyNodes := reg.Gauge("simulator.busy_nodes")
+	finishHist := reg.Histogram("simulator.node_finish_seconds",
+		telemetry.ExponentialBuckets(1e-3, 10, 8))
+
 	type nodeState struct {
 		run       *NodeRun
 		group     cluster.Group
@@ -189,6 +207,7 @@ func Run(cfg cluster.Config, wl *workload.Profile, eff Effects, meter powermeter
 					slow = 1
 				}
 				st.straggler = slow
+				stragglerCnt.Inc()
 			}
 			states = append(states, st)
 			res.Nodes = append(res.Nodes, *nr)
@@ -206,6 +225,10 @@ func Run(cfg cluster.Config, wl *workload.Profile, eff Effects, meter powermeter
 		if st.slice >= slices || st.perUnit <= 0 {
 			return
 		}
+		if st.slice == 0 { // idle -> busy: the node starts its share
+			busyTrans.Inc()
+			busyNodes.Add(1)
+		}
 		st.slice++
 		seg, cnt, dur := simulateSlice(st.group, st.demand, wl, st.perUnit, eff, st.rng, st.straggler)
 		start := st.clock
@@ -216,8 +239,14 @@ func Run(cfg cluster.Config, wl *workload.Profile, eff Effects, meter powermeter
 			panic(err)
 		}
 		st.run.Counters.Add(cnt)
+		slicesDone.Inc()
 		if st.slice >= slices {
 			st.run.Finish = st.clock
+			// busy -> idle: the node completed its share and idles
+			// until the slowest node finishes the job.
+			idleTrans.Inc()
+			busyNodes.Add(-1)
+			finishHist.Observe(st.clock)
 			return
 		}
 		if _, err := eng.ScheduleAt(st.clock, func() { runSlice(st) }); err != nil {

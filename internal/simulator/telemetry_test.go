@@ -1,0 +1,75 @@
+package simulator
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/powermeter"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// TestRunTelemetry: a simulated job reports busy/idle transitions,
+// completed slices and node finish times, and the values are exact
+// deterministic functions of the configuration (virtual time, not wall
+// time).
+func TestRunTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	telemetry.SetGlobal(reg)
+	defer telemetry.SetGlobal(nil)
+
+	cat, wreg := setup(t)
+	a9, err := cat.Lookup("A9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k10, err := cat.Lookup("K10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.MustConfig(cluster.FullNodes(a9, 3), cluster.FullNodes(k10, 2)) // 5 nodes
+	wl, err := wreg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := DefaultEffects()
+	eff.Slices = 10
+	res, err := Run(cfg, wl, eff, powermeter.DefaultMeter(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := uint64(len(res.Nodes))
+	if nodes != 5 {
+		t.Fatalf("nodes = %d, want 5", nodes)
+	}
+	if got := reg.Counter("simulator.runs").Value(); got != 1 {
+		t.Errorf("runs = %d, want 1", got)
+	}
+	if got := reg.Counter("simulator.node_busy_transitions").Value(); got != nodes {
+		t.Errorf("busy transitions = %d, want %d", got, nodes)
+	}
+	if got := reg.Counter("simulator.node_idle_transitions").Value(); got != nodes {
+		t.Errorf("idle transitions = %d, want %d", got, nodes)
+	}
+	if got := reg.Counter("simulator.slices_completed").Value(); got != nodes*10 {
+		t.Errorf("slices_completed = %d, want %d", got, nodes*10)
+	}
+	if got := reg.Gauge("simulator.busy_nodes").Value(); got != 0 {
+		t.Errorf("busy_nodes after run = %g, want 0", got)
+	}
+	h := reg.Histogram("simulator.node_finish_seconds", nil)
+	if got := h.Count(); got != nodes {
+		t.Errorf("finish histogram count = %d, want %d", got, nodes)
+	}
+	if h.Max() > float64(res.Time) || h.Max() <= 0 {
+		t.Errorf("finish histogram max %g outside (0, %g]", h.Max(), float64(res.Time))
+	}
+	// The DES engine underneath reported as well.
+	if got := reg.Counter("des.events_fired").Value(); got != res.Events {
+		t.Errorf("des.events_fired = %d, want %d", got, res.Events)
+	}
+	// The span tracer recorded the run phase.
+	if reg.Tracer().Len() == 0 {
+		t.Error("no spans recorded for simulator.run")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package telemetry
+
+// raceEnabled reports whether the binary was built with the race
+// detector; timing-budget tests skip themselves under it.
+const raceEnabled = false

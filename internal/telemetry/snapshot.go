@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// HistogramSnapshot is the exported summary of one histogram.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	// Bounds are the bucket upper bounds; Buckets the matching counts,
+	// with one trailing overflow cell.
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+// Maps marshal with sorted keys, so the JSON form is deterministic for
+// a given set of instrument values.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every instrument. Counters and
+// gauges still being written concurrently are read atomically; the
+// snapshot as a whole is not a consistent cut, which is fine for
+// monitoring. Returns the zero Snapshot for a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = HistogramSnapshot{
+				Count:   h.Count(),
+				Sum:     h.Sum(),
+				Mean:    h.Mean(),
+				Min:     h.Min(),
+				Max:     h.Max(),
+				P50:     h.Quantile(0.50),
+				P95:     h.Quantile(0.95),
+				P99:     h.Quantile(0.99),
+				Bounds:  h.Bounds(),
+				Buckets: h.BucketCounts(),
+			}
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. A nil registry writes
+// an empty object, keeping -metrics output valid even when collection
+// never started.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
