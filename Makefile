@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race vet bench reproduce examples fuzz clean
+.PHONY: all build test test-race race vet check bench bench-queueing reproduce examples fuzz clean
 
 all: build vet test
 
@@ -13,20 +13,40 @@ build:
 vet:
 	$(GO) vet ./...
 
+# check is the pre-commit gate: formatting, vet, build, tests.
+check:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
 test:
 	$(GO) test ./...
 
 test-race:
 	$(GO) test -race ./...
 
-# Alias: the observability docs and CI refer to `make race`.
+# Alias: the observability docs and CI refer to `make race`. The extra
+# invocation hammers the queueing percentile cache specifically — the
+# one shared-mutable structure the parallel sweeps contend on.
 race: test-race
+	$(GO) test -race -run TestPercentileCacheConcurrent -count 2 ./internal/queueing/
 
 # One benchmark iteration per experiment: regenerates every table/figure
 # metric quickly. Drop -benchtime for full statistical runs. Output also
 # lands in bench.out so successive runs can be diffed / benchstat'd.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./... | tee bench.out
+
+# Queueing-kernel benchmarks with the headline speedups distilled into
+# BENCH_queueing.json (fast Crommelin kernel and percentile cache versus
+# the preserved reference implementation).
+bench-queueing:
+	$(GO) test -bench 'BenchmarkWaitCDF|BenchmarkResponsePercentile' \
+		-benchmem -run '^$$' ./internal/queueing/ | tee bench_queueing.out
+	$(GO) run ./internal/tools/benchjson bench_queueing.out > BENCH_queueing.json
+	@echo wrote BENCH_queueing.json
 
 # Regenerate every table, figure, extension study and SUMMARY.txt.
 reproduce:
@@ -44,4 +64,4 @@ fuzz:
 	$(GO) test ./internal/cli/ -fuzz FuzzParseMix -fuzztime 30s
 
 clean:
-	rm -rf results bench.out
+	rm -rf results bench.out bench_queueing.out

@@ -28,14 +28,15 @@ func main() {
 	plot := flag.Bool("plot", false, "render ASCII plots of the curves")
 	nodes := flag.String("nodes", "", "JSON file with extra node types")
 	wls := flag.String("workloads", "", "JSON file with extra workload profiles")
+	workers := flag.Int("workers", 0, "parallel workers for the percentile sweep (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*wlName, *mix, *ref, *pct, *plot, *nodes, *wls); err != nil {
+	if err := run(*wlName, *mix, *ref, *pct, *plot, *nodes, *wls, *workers); err != nil {
 		cli.Fatal("epprop", err)
 	}
 }
 
-func run(wlName, mix, refMix string, pct float64, plot bool, nodesPath, wlsPath string) error {
+func run(wlName, mix, refMix string, pct float64, plot bool, nodesPath, wlsPath string, workers int) error {
 	catalog, registry, err := cli.LoadEnvironment(nodesPath, wlsPath)
 	if err != nil {
 		return err
@@ -73,19 +74,24 @@ func run(wlName, mix, refMix string, pct float64, plot bool, nodesPath, wlsPath 
 		fmt.Printf("normalizing against reference %s (peak %v)\n\n", refCfg, refA.Result.BusyPower)
 	}
 
+	// The percentile column is the expensive part of the table (one
+	// root-find per utilization); fan it out before printing serially.
+	us := stats.Linspace(0.1, 0.95, 18)
+	resps, err := a.ResponsePercentilesAt(us, pct, workers)
+	if err != nil {
+		return err
+	}
+
 	fmt.Printf("%6s  %10s  %8s  %12s  %8s  %14s\n",
 		"util%", "power[W]", "%peak", "PPR", "PG", fmt.Sprintf("p%.0f resp[s]", pct))
-	for _, u := range stats.Linspace(0.1, 0.95, 18) {
+	for i, u := range us {
 		norm := 100 * a.NormalizedPowerAt(u)
 		pg := energyprop.PG(a.CurveRes, u)
 		if ref != nil {
 			norm = 100 * ref.NormalizedAt(a.CurveRes, u)
 			pg = ref.PG(a.CurveRes, u)
 		}
-		resp, err := a.ResponsePercentileAt(u, pct)
-		if err != nil {
-			return err
-		}
+		resp := resps[i]
 		marker := ""
 		if pg < 0 {
 			marker = "  <- sub-linear"

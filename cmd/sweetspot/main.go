@@ -39,13 +39,14 @@ func main() {
 	nodes := flag.String("nodes", "", "JSON file with extra node types")
 	wls := flag.String("workloads", "", "JSON file with extra workload profiles")
 	progress := flag.Int("progress", 0, "print exploration progress to stderr every N configurations (0 disables)")
+	workers := flag.Int("workers", 0, "parallel evaluation workers (0 = GOMAXPROCS)")
 	tel := cli.AddTelemetryFlags(nil)
 	flag.Parse()
 
 	if err := tel.Start(); err != nil {
 		cli.Fatal("sweetspot", err)
 	}
-	err := run(*wlName, *deadline, *energyJ, *powerW, *maxA9, *maxK10, *dvfs, *nodes, *wls, *progress)
+	err := run(*wlName, *deadline, *energyJ, *powerW, *maxA9, *maxK10, *dvfs, *nodes, *wls, *progress, *workers)
 	if cerr := tel.Close(); err == nil {
 		err = cerr
 	}
@@ -54,7 +55,7 @@ func main() {
 	}
 }
 
-func run(wlName string, deadline time.Duration, energyJ, powerW float64, maxA9, maxK10 int, dvfs bool, nodesPath, wlsPath string, progressEvery int) error {
+func run(wlName string, deadline time.Duration, energyJ, powerW float64, maxA9, maxK10 int, dvfs bool, nodesPath, wlsPath string, progressEvery, workers int) error {
 	catalog, registry, err := cli.LoadEnvironment(nodesPath, wlsPath)
 	if err != nil {
 		return err
@@ -81,30 +82,23 @@ func run(wlName string, deadline time.Duration, energyJ, powerW float64, maxA9, 
 	fmt.Printf("exploring %d configurations for %s...\n", total, wl.Name)
 	pr := telemetry.NewProgress(os.Stderr, "sweetspot", int64(total), int64(progressEvery))
 
-	var points []pareto.Point
-	err = cluster.Enumerate(limits, func(cfg cluster.Config) bool {
-		pr.Tick()
-		if powerW > 0 {
+	// The peak-power budget prunes before model evaluation via the sweep
+	// filter; everything surviving it fans out across the worker pool.
+	var filter func(cluster.Config) bool
+	if powerW > 0 {
+		filter = func(cfg cluster.Config) bool {
 			peak := float64(cfg.NominalPeak()) + float64(sw.Power(cfg.Count("A9")))
-			if peak > powerW {
-				return true
-			}
+			return peak <= powerW
 		}
-		res, err := model.Evaluate(cfg, wl, model.Options{})
-		if err != nil {
-			return true
-		}
-		points = append(points, pareto.Point{Config: cfg, Time: res.Time, Energy: res.Energy, Result: res})
-		if len(points) > 8192 {
-			points = pareto.Frontier(points)
-		}
-		return true
+	}
+	frontier, err := pareto.FrontierSweep(limits, wl, model.Options{}, pareto.SweepOptions{
+		Workers:  workers,
+		Progress: pr,
+		Filter:   filter,
 	})
 	if err != nil {
 		return err
 	}
-	pr.Done()
-	frontier := pareto.Frontier(points)
 	if len(frontier) == 0 {
 		return fmt.Errorf("no feasible configuration under the power budget")
 	}

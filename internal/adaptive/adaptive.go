@@ -28,6 +28,7 @@ import (
 	"repro/internal/energyprop"
 	"repro/internal/queueing"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
 
@@ -47,6 +48,10 @@ type Policy struct {
 	// fraction of the current configuration's power (e.g. 0.05 = 5%).
 	// Zero switches greedily.
 	Hysteresis float64
+	// Workers is the fan-out of the candidate-evaluation precompute
+	// (every candidate's utilization, power and response percentile at
+	// every grid point is independent); <= 0 uses GOMAXPROCS.
+	Workers int
 }
 
 func (p Policy) withDefaults() Policy {
@@ -130,8 +135,6 @@ func Plan(candidates []*energyprop.Analysis, policy Policy, grid []float64) (*En
 	}
 	refRate := 1 / float64(candidates[ref].Result.Time) // jobs/s at u=1
 
-	e := &Ensemble{Candidates: candidates, Reference: ref}
-	prevChoice := -2
 	lastLoad := 0.0
 	for _, load := range grid {
 		if load <= 0 || load > 1 {
@@ -141,44 +144,38 @@ func Plan(candidates []*energyprop.Analysis, policy Policy, grid []float64) (*En
 			return nil, errors.New("adaptive: load grid must ascend")
 		}
 		lastLoad = load
+	}
+
+	// Phase 1 — precompute: every (grid point, candidate) evaluation is
+	// pure, so the utilization/power/response matrix fans out across a
+	// worker pool; the queueing layer's percentile cache deduplicates
+	// repeated (rho, p) searches underneath.
+	evals := evaluateCandidates(candidates, policy, grid, refRate)
+
+	// Phase 2 — decide: the sequential pass that carries hysteresis
+	// state along the grid is now just lookups into the matrix.
+	e := &Ensemble{Candidates: candidates, Reference: ref}
+	prevChoice := -2
+	for gi, load := range grid {
 		arrival := load * refRate
+		row := evals[gi*len(candidates) : (gi+1)*len(candidates)]
 
 		best := -1
-		var bestPower, bestUtil, bestResp float64
-		feasible := func(i int) (power, rho, resp float64, ok bool) {
-			c := candidates[i]
-			rho = arrival * float64(c.Result.Time)
-			if rho > policy.MaxUtilization {
-				return 0, 0, 0, false
-			}
-			if policy.SLO > 0 {
-				q, err := queueing.NewMD1FromUtilization(rho, float64(c.Result.Time))
-				if err != nil {
-					return 0, 0, 0, false
-				}
-				r, err := q.ResponsePercentile(policy.Percentile)
-				if err != nil || r > policy.SLO {
-					return 0, 0, 0, false
-				}
-				resp = r
-			}
-			return c.PowerAt(rho), rho, resp, true
-		}
-		for i := range candidates {
-			power, rho, resp, ok := feasible(i)
-			if !ok {
+		var bestEval candEval
+		for i, ev := range row {
+			if !ev.ok {
 				continue
 			}
-			if best == -1 || power < bestPower {
-				best, bestPower, bestUtil, bestResp = i, power, rho, resp
+			if best == -1 || ev.power < bestEval.power {
+				best, bestEval = i, ev
 			}
 		}
 		// Hysteresis: stay with the previous configuration unless the
 		// best alternative beats it by more than the threshold.
 		if policy.Hysteresis > 0 && prevChoice >= 0 && best >= 0 && best != prevChoice {
-			if curPower, curRho, curResp, ok := feasible(prevChoice); ok {
-				if bestPower > curPower*(1-policy.Hysteresis) {
-					best, bestPower, bestUtil, bestResp = prevChoice, curPower, curRho, curResp
+			if cur := row[prevChoice]; cur.ok {
+				if bestEval.power > cur.power*(1-policy.Hysteresis) {
+					best, bestEval = prevChoice, cur
 					suppressedCnt.Inc()
 				}
 			}
@@ -189,17 +186,9 @@ func Plan(candidates []*energyprop.Analysis, policy Policy, grid []float64) (*En
 		}
 		d := Decision{LoadFrac: load, Arrival: arrival, Chosen: best}
 		if best >= 0 {
-			d.Utilization = bestUtil
-			d.Power = bestPower
-			d.Response = bestResp
-			if policy.SLO == 0 {
-				// Fill in the response even without an SLO, for reporting.
-				if q, err := queueing.NewMD1FromUtilization(bestUtil, float64(candidates[best].Result.Time)); err == nil {
-					if r, err := q.ResponsePercentile(policy.Percentile); err == nil {
-						d.Response = r
-					}
-				}
-			}
+			d.Utilization = bestEval.rho
+			d.Power = bestEval.power
+			d.Response = bestEval.resp
 			if prevChoice >= 0 && prevChoice != best {
 				e.Switches++
 				switchCnt.Inc()
@@ -209,6 +198,49 @@ func Plan(candidates []*energyprop.Analysis, policy Policy, grid []float64) (*En
 		e.Decisions = append(e.Decisions, d)
 	}
 	return e, nil
+}
+
+// candEval is one cell of the precomputed (grid point, candidate)
+// matrix: the candidate's own utilization, power and response time at
+// that offered load, plus whether the policy admits it.
+type candEval struct {
+	power, rho, resp float64
+	ok               bool
+}
+
+// evaluateCandidates fills the grid x candidates matrix in parallel.
+// Row-major: evals[gi*len(candidates)+ci].
+func evaluateCandidates(candidates []*energyprop.Analysis, policy Policy, grid []float64, refRate float64) []candEval {
+	span := telemetry.Global().Tracer().Start("adaptive.precompute").
+		Arg("cells", len(grid)*len(candidates)).Arg("workers", policy.Workers)
+	defer span.End()
+	evals := make([]candEval, len(grid)*len(candidates))
+	sweep.ForEach(len(evals), policy.Workers, func(idx int) {
+		gi, ci := idx/len(candidates), idx%len(candidates)
+		evals[idx] = evaluateCandidate(candidates[ci], grid[gi]*refRate, policy)
+	})
+	return evals
+}
+
+// evaluateCandidate scores one candidate at one arrival rate. The
+// response percentile is computed whenever the queue is stable: with an
+// SLO it gates feasibility, without one it still fills the decision log.
+func evaluateCandidate(c *energyprop.Analysis, arrival float64, policy Policy) candEval {
+	rho := arrival * float64(c.Result.Time)
+	if rho > policy.MaxUtilization {
+		return candEval{}
+	}
+	var resp float64
+	respOK := false
+	if q, err := queueing.NewMD1FromUtilization(rho, float64(c.Result.Time)); err == nil {
+		if r, err := q.ResponsePercentile(policy.Percentile); err == nil {
+			resp, respOK = r, true
+		}
+	}
+	if policy.SLO > 0 && (!respOK || resp > policy.SLO) {
+		return candEval{}
+	}
+	return candEval{power: c.PowerAt(rho), rho: rho, resp: resp, ok: true}
 }
 
 // Feasible reports whether every grid point found a configuration.

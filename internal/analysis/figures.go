@@ -201,6 +201,7 @@ func (s *Suite) FigurePareto(wl string, maxCurves int) (*ParetoFigure, error) {
 		{Type: amd, MaxNodes: 12, FixCoresAndFreq: true},
 	}
 	frontier, err := pareto.FrontierSweep(limits, p, s.Opt, pareto.SweepOptions{
+		Workers:  s.Workers,
 		Progress: s.progress("pareto "+wl, cluster.SpaceSize(limits)),
 	})
 	if err != nil {
@@ -308,13 +309,9 @@ func (s *Suite) FigureResponse(wl string, percentile float64) ([]report.Series, 
 		if err != nil {
 			return nil, err
 		}
-		y := make([]float64, len(grid))
-		for i, u := range grid {
-			r, err := a.ResponsePercentileAt(u, percentile)
-			if err != nil {
-				return nil, fmt.Errorf("analysis: response percentile for %s at u=%g: %w", cfg, u, err)
-			}
-			y[i] = r
+		y, err := a.ResponsePercentilesAt(grid, percentile, s.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: response percentiles for %s: %w", cfg, err)
 		}
 		series = append(series, report.Series{
 			Label: fmt.Sprintf("%d A9: %d K10", mix[0], mix[1]),

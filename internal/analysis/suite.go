@@ -36,6 +36,9 @@ type Suite struct {
 	ProgressEvery int
 	// ProgressW receives the progress lines; nil disables reporting.
 	ProgressW io.Writer
+	// Workers is the fan-out of the parallel sweeps (configuration
+	// frontiers, response-percentile grids); <= 0 uses GOMAXPROCS.
+	Workers int
 }
 
 // NewSuite builds the default paper setup: A9/K10 catalog, the six

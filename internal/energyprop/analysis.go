@@ -7,6 +7,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/model"
 	"repro/internal/queueing"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -85,6 +87,42 @@ func (a *Analysis) Sweep(grid []float64, f func(u float64) float64) []float64 {
 		out[i] = f(u)
 	}
 	return out
+}
+
+// SweepParallel is Sweep with a worker pool: f must be pure in u. Used
+// for the per-point-expensive curves (percentile sweeps); trivially
+// cheap f (linear power lookups) gains nothing over Sweep. workers <= 0
+// uses GOMAXPROCS.
+func (a *Analysis) SweepParallel(grid []float64, workers int, f func(u float64) float64) []float64 {
+	span := telemetry.StartSpan("energyprop.sweep").Arg("points", len(grid))
+	defer span.End()
+	out := make([]float64, len(grid))
+	sweep.ForEach(len(grid), workers, func(i int) { out[i] = f(grid[i]) })
+	return out
+}
+
+// ResponsePercentilesAt computes the p-th percentile response time at
+// every utilization of the grid — the U x percentile surface behind
+// Figures 11/12 — fanning the searches across a worker pool. Each point
+// resolves through the queueing package's scale-invariant percentile
+// cache, so across many configurations on a shared utilization grid only
+// the first sweep at each (rho, p) pays for a search. workers <= 0 uses
+// GOMAXPROCS.
+func (a *Analysis) ResponsePercentilesAt(grid []float64, p float64, workers int) ([]float64, error) {
+	span := telemetry.StartSpan("energyprop.response_sweep").
+		Arg("points", len(grid)).Arg("p", p)
+	defer span.End()
+	out := make([]float64, len(grid))
+	errs := make([]error, len(grid))
+	sweep.ForEach(len(grid), workers, func(i int) {
+		out[i], errs[i] = a.ResponsePercentileAt(grid[i], p)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("energyprop: response percentile at u=%g: %w", grid[i], err)
+		}
+	}
+	return out, nil
 }
 
 // EnergyOverWindow returns the energy consumed during an observation

@@ -2,11 +2,11 @@ package pareto
 
 import (
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/model"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -15,10 +15,14 @@ import (
 type SweepOptions struct {
 	// Workers is the fan-out width; <= 0 uses GOMAXPROCS.
 	Workers int
-	// Progress, when non-nil, is ticked once per evaluated (or skipped)
-	// configuration — the count-based reporter behind the CLIs'
-	// -progress flag.
+	// Progress, when non-nil, is ticked once per enumerated (evaluated,
+	// skipped or filtered) configuration — the count-based reporter
+	// behind the CLIs' -progress flag.
 	Progress *telemetry.Progress
+	// Filter, when non-nil, prunes configurations before evaluation
+	// (e.g. a peak-power budget): configurations it rejects are counted
+	// and ticked but never reach the model.
+	Filter func(cluster.Config) bool
 }
 
 // sweepInstruments caches the registry lookups a sweep needs, so the
@@ -27,6 +31,7 @@ type SweepOptions struct {
 type sweepInstruments struct {
 	evaluated *telemetry.Counter
 	skipped   *telemetry.Counter
+	filtered  *telemetry.Counter
 	busyNanos *telemetry.Counter
 	latency   *telemetry.Histogram
 	tracer    *telemetry.Tracer
@@ -38,6 +43,7 @@ func newSweepInstruments() sweepInstruments {
 	return sweepInstruments{
 		evaluated: reg.Counter("pareto.configs_evaluated"),
 		skipped:   reg.Counter("pareto.configs_skipped"),
+		filtered:  reg.Counter("pareto.configs_filtered"),
 		busyNanos: reg.Counter("pareto.worker_busy_nanos"),
 		latency: reg.Histogram("pareto.eval_seconds",
 			telemetry.ExponentialBuckets(1e-7, 10, 9)),
@@ -100,47 +106,26 @@ func evaluateParallel(configs []cluster.Config, wl *workload.Profile, opt model.
 		Arg("configs", len(configs)).Arg("workers", workers)
 	defer span.End()
 
-	// Fixed-slot results preserve input order and need no locking:
-	// each index is written by exactly one worker. Work is handed out
-	// in blocks — a single model evaluation takes only microseconds, so
-	// per-item channel traffic would dominate the fan-out.
-	const block = 256
+	// Fixed-slot results preserve input order and need no locking: each
+	// index is written by exactly one sweep.Blocks worker.
 	results := make([]*Point, len(configs))
-	var wg sync.WaitGroup
-	next := make(chan [2]int)
-	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for r := range next {
-				var wspan *telemetry.Span
-				var began time.Time
-				if ins.enabled {
-					began = time.Now()
-					wspan = ins.tracer.StartOn(w+1, "pareto.block").
-						Arg("lo", r[0]).Arg("hi", r[1])
-				}
-				for i := r[0]; i < r[1]; i++ {
-					results[i] = ins.evalOne(configs[i], wl, opt)
-					pr.Tick()
-				}
-				if ins.enabled {
-					ins.busyNanos.Add(uint64(time.Since(began).Nanoseconds()))
-					wspan.End()
-				}
-			}
-		}()
-	}
-	for lo := 0; lo < len(configs); lo += block {
-		hi := lo + block
-		if hi > len(configs) {
-			hi = len(configs)
+	sweep.Blocks(len(configs), workers, sweep.DefaultBlock, func(w, lo, hi int) {
+		var wspan *telemetry.Span
+		var began time.Time
+		if ins.enabled {
+			began = time.Now()
+			wspan = ins.tracer.StartOn(w+1, "pareto.block").
+				Arg("lo", lo).Arg("hi", hi)
 		}
-		next <- [2]int{lo, hi}
-	}
-	close(next)
-	wg.Wait()
+		for i := lo; i < hi; i++ {
+			results[i] = ins.evalOne(configs[i], wl, opt)
+			pr.Tick()
+		}
+		if ins.enabled {
+			ins.busyNanos.Add(uint64(time.Since(began).Nanoseconds()))
+			wspan.End()
+		}
+	})
 
 	out := make([]Point, 0, len(configs))
 	for _, p := range results {
@@ -160,11 +145,13 @@ func FrontierForParallel(limits []cluster.Limit, wl *workload.Profile, opt model
 }
 
 // FrontierSweep is the fully-instrumented frontier pipeline: chunked
-// parallel evaluation with optional progress reporting and a span per
-// sweep. FrontierForParallel and the CLIs are thin wrappers over it.
+// parallel evaluation with optional pre-evaluation filtering and
+// progress reporting, plus a span per sweep. FrontierForParallel and the
+// CLIs are thin wrappers over it.
 func FrontierSweep(limits []cluster.Limit, wl *workload.Profile, opt model.Options, sw SweepOptions) ([]Point, error) {
 	span := telemetry.StartSpan("pareto.frontier_sweep").Arg("workload", wl.Name)
 	defer span.End()
+	filtered := telemetry.Global().Counter("pareto.configs_filtered")
 	const chunk = 8192
 	var frontier []Point
 	batch := make([]cluster.Config, 0, chunk)
@@ -177,6 +164,11 @@ func FrontierSweep(limits []cluster.Limit, wl *workload.Profile, opt model.Optio
 		batch = batch[:0]
 	}
 	err := cluster.Enumerate(limits, func(cfg cluster.Config) bool {
+		if sw.Filter != nil && !sw.Filter(cfg) {
+			filtered.Inc()
+			sw.Progress.Tick()
+			return true
+		}
 		batch = append(batch, cfg)
 		if len(batch) >= chunk {
 			flush()

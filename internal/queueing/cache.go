@@ -1,0 +1,184 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// M/D/1 is scale free in the service time: at fixed utilization rho the
+// waiting time satisfies W(lambda, D) = D * W(rho, 1) in distribution.
+// Every percentile query therefore reduces to the normalized queue
+// MD1{Lambda: rho, D: 1}, and all configurations swept at the same
+// utilization — the common case in the paper's U x percentile grids,
+// where dozens of mixes are evaluated on one utilization axis — share a
+// single search through the process-wide memo below.
+//
+// Keys quantize rho to the nearest multiple of 2^-rhoQuantBits. Two
+// utilizations that differ only in float64 round-off (0.7 given directly
+// versus recovered as lambda*D) collapse onto one entry; the error this
+// introduces is bounded by the percentile's sensitivity to rho,
+// |dW/drho| <= ~2*W/( (1-rho)*(...)), so the relative perturbation is at
+// most about 2^-40/(1-rho) — under 1e-10 even at rho = 0.99, two orders
+// inside the kernel's 1e-9 accuracy budget (see DESIGN.md §9).
+
+// rhoQuantBits is the rho quantization: 2^-40 ≈ 9.1e-13.
+const rhoQuantBits = 40
+
+// pctCacheMaxEntries bounds the memo; past it the map is dropped and
+// refilled (sweeps touch a few thousand (rho, p) pairs at most, so the
+// bound exists only to keep pathological callers from growing it
+// without limit).
+const pctCacheMaxEntries = 1 << 15
+
+// quantizeRho rounds rho onto the cache lattice, falling back to the
+// exact value at the extremes where rounding would cross 0 or 1.
+func quantizeRho(rho float64) float64 {
+	const scale = 1 << rhoQuantBits
+	q := math.Round(rho*scale) / scale
+	if q <= 0 || q >= 1 {
+		return rho
+	}
+	return q
+}
+
+type pctKey struct {
+	rho    float64 // quantized
+	target uint64  // math.Float64bits(p/100)
+}
+
+// pctEntry is a singleflight cell: the first goroutine to claim the key
+// computes inside the Once while latecomers block on it and then read
+// the settled value.
+type pctEntry struct {
+	once sync.Once
+	w    float64
+	err  error
+}
+
+var pctCache struct {
+	m    atomic.Pointer[sync.Map]
+	size atomic.Int64
+}
+
+func init() { pctCache.m.Store(new(sync.Map)) }
+
+// resetPercentileCache drops every memoized percentile. Used when the
+// map outgrows pctCacheMaxEntries, and by tests that need a cold cache.
+func resetPercentileCache() {
+	pctCache.m.Store(new(sync.Map))
+	pctCache.size.Store(0)
+}
+
+// normState carries warm search state across the queries of one batch:
+// the shared normalized-queue evaluator (whose e^{-rho} step factor is
+// computed once per precision) and the best known lower bracket. With
+// targets visited in ascending order, each solved percentile becomes
+// the lower bracket of the next.
+type normState struct {
+	ev  *cdfEvaluator
+	lo  float64 // known wait with cdf(lo) = flo
+	flo float64
+}
+
+// cachedNormalizedPercentile returns the normalized wait percentile
+// w(rho, target) for the queue MD1{Lambda: rho, D: 1}, memoized across
+// the process. st may be nil (single query) or shared batch state.
+// Callers must have handled the zero atom (target <= 1-rho) already.
+func cachedNormalizedPercentile(rho, target float64, st *normState) (float64, error) {
+	ins := instruments()
+	rhoQ := quantizeRho(rho)
+	key := pctKey{rho: rhoQ, target: math.Float64bits(target)}
+	m := pctCache.m.Load()
+	e := &pctEntry{}
+	if got, loaded := m.LoadOrStore(key, e); loaded {
+		e = got.(*pctEntry)
+		ins.cacheHits.Inc()
+	} else {
+		ins.cacheMisses.Inc()
+		if pctCache.size.Add(1) > pctCacheMaxEntries {
+			resetPercentileCache()
+		}
+	}
+	e.once.Do(func() {
+		e.w, e.err = solveNormalizedPercentile(rhoQ, target, st)
+	})
+	if e.err == nil && st != nil && e.w > st.lo {
+		// Warm the batch bracket even on cache hits: cdf(w) = target.
+		st.lo, st.flo = e.w, target
+	}
+	return e.w, e.err
+}
+
+// solveNormalizedPercentile brackets and solves F(w) = target on the
+// normalized queue. st, when non-nil, seeds the lower bracket and
+// supplies the shared evaluator.
+func solveNormalizedPercentile(rho, target float64, st *normState) (float64, error) {
+	var ev *cdfEvaluator
+	lo, flo := 0.0, 1-rho
+	if st != nil {
+		if st.ev == nil {
+			st.ev = &cdfEvaluator{q: MD1{Lambda: rho, D: 1}, rho: rho}
+		}
+		ev = st.ev
+		if st.lo > 0 && st.flo <= target {
+			lo, flo = st.lo, st.flo
+		}
+	} else {
+		ev = &cdfEvaluator{q: MD1{Lambda: rho, D: 1}, rho: rho}
+	}
+
+	// Bracket: grow the upper bound geometrically from the mean wait,
+	// promoting each failed bound to the lower bracket.
+	hi := rho / (2 * (1 - rho)) // normalized mean wait
+	if hi <= lo {
+		hi = lo + 1
+	}
+	fhi := ev.cdf(hi)
+	for i := 0; fhi < target; i++ {
+		lo, flo = hi, fhi
+		hi *= 2
+		fhi = ev.cdf(hi)
+		if i > 60 {
+			return 0, errors.New("queueing: percentile bracket failed to converge")
+		}
+	}
+	return solveCDF(ev, target, lo, flo, hi, fhi), nil
+}
+
+// solveCDF finds w with F(w) = target inside a bracket by regula falsi
+// with the Illinois modification: the next probe interpolates the
+// monotone CDF linearly between the bracket ends (far faster than
+// bisection on the smooth, near-exponential tail), and halving the
+// retained end's residual whenever the same side survives twice keeps
+// the superlinear convergence guarantee bisection would otherwise be
+// needed for.
+func solveCDF(ev *cdfEvaluator, target, lo, flo, hi, fhi float64) float64 {
+	glo, ghi := flo-target, fhi-target
+	side := 0
+	for i := 0; i < 200 && hi-lo > 1e-12*math.Max(1, hi); i++ {
+		var mid float64
+		if ghi != glo {
+			mid = lo - glo*(hi-lo)/(ghi-glo)
+		}
+		if !(mid > lo && mid < hi) {
+			mid = lo + 0.5*(hi-lo)
+		}
+		g := ev.cdf(mid) - target
+		if g < 0 {
+			lo, glo = mid, g
+			if side == -1 {
+				ghi *= 0.5
+			}
+			side = -1
+		} else {
+			hi, ghi = mid, g
+			if side == 1 {
+				glo *= 0.5
+			}
+			side = 1
+		}
+	}
+	return lo + 0.5*(hi-lo)
+}

@@ -1,0 +1,159 @@
+package queueing
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestPercentileCacheCounters: one cold query misses, repeats hit, and a
+// different service time at the same utilization hits too (the cache is
+// keyed on the normalized queue).
+func TestPercentileCacheCounters(t *testing.T) {
+	reg := telemetry.New()
+	telemetry.SetGlobal(reg)
+	defer telemetry.SetGlobal(nil)
+	resetPercentileCache()
+
+	// An unusual rho keeps this test independent of what other tests
+	// have already cached (the memo is process-wide by design).
+	const rho = 0.731592653589793
+	q1, err := NewMD1FromUtilization(rho, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q1.WaitPercentile(95); err != nil {
+		t.Fatal(err)
+	}
+	misses := reg.Counter("queueing.percentile_cache_misses").Value()
+	hits := reg.Counter("queueing.percentile_cache_hits").Value()
+	if misses != 1 || hits != 0 {
+		t.Fatalf("cold query: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	if _, err := q1.WaitPercentile(95); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := NewMD1FromUtilization(rho, 42.5) // same rho, different D
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.WaitPercentile(95); err != nil {
+		t.Fatal(err)
+	}
+	misses = reg.Counter("queueing.percentile_cache_misses").Value()
+	hits = reg.Counter("queueing.percentile_cache_hits").Value()
+	if misses != 1 || hits != 2 {
+		t.Errorf("after repeat + rescaled query: hits=%d misses=%d, want 2/1", hits, misses)
+	}
+
+	if got := reg.Counter("queueing.percentile_searches").Value(); got != 3 {
+		t.Errorf("percentile_searches = %d, want 3", got)
+	}
+}
+
+// TestPercentileCacheCutsCDFCalls: the second query at the same rho must
+// not touch the CDF at all — the whole point of the memo.
+func TestPercentileCacheCutsCDFCalls(t *testing.T) {
+	reg := telemetry.New()
+	telemetry.SetGlobal(reg)
+	defer telemetry.SetGlobal(nil)
+	resetPercentileCache()
+
+	q := MD1{Lambda: 0.812345, D: 1}
+	if _, err := q.WaitPercentile(95); err != nil {
+		t.Fatal(err)
+	}
+	cold := reg.Counter("queueing.wait_cdf_calls").Value()
+	if cold == 0 {
+		t.Fatal("cold search issued no CDF calls")
+	}
+	if _, err := q.WaitPercentile(95); err != nil {
+		t.Fatal(err)
+	}
+	if warm := reg.Counter("queueing.wait_cdf_calls").Value(); warm != cold {
+		t.Errorf("warm search issued %d extra CDF calls", warm-cold)
+	}
+}
+
+// TestPercentileCacheConcurrent hammers the memo from many goroutines
+// over a small (rho, p) set — the singleflight contention path — and
+// cross-checks every answer against the uncached reference search. Run
+// under -race this doubles as the cache's data-race test.
+func TestPercentileCacheConcurrent(t *testing.T) {
+	resetPercentileCache()
+	rhos := []float64{0.31, 0.54, 0.77, 0.9}
+	ps := []float64{50, 90, 95, 99}
+
+	want := make(map[[2]float64]float64)
+	for _, rho := range rhos {
+		for _, p := range ps {
+			q := MD1{Lambda: rho, D: 1}
+			w, err := q.waitPercentileReference(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[[2]float64{rho, p}] = w
+		}
+	}
+
+	const workers = 32
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				rho := rhos[(w+i)%len(rhos)]
+				p := ps[(w*7+i)%len(ps)]
+				// Vary D so goroutines enter through differently-scaled
+				// queues that share normalized cache entries.
+				d := 1 + float64((w+i)%3)
+				q := MD1{Lambda: rho / d, D: d}
+				got, err := q.WaitPercentile(p)
+				if err != nil {
+					errc <- err
+					return
+				}
+				ref := want[[2]float64{rho, p}] * d
+				if math.Abs(got-ref) > 1e-8*math.Max(1, ref) {
+					t.Errorf("rho=%g p=%g D=%g: got %.12g want %.12g", rho, p, d, got, ref)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestPercentileCacheResetOnOverflow: filling past the bound drops the
+// map instead of growing without limit, and queries keep answering.
+func TestPercentileCacheResetOnOverflow(t *testing.T) {
+	resetPercentileCache()
+	defer resetPercentileCache()
+	// Simulate a full cache rather than solving 32k percentiles.
+	pctCache.size.Store(pctCacheMaxEntries)
+	q := MD1{Lambda: 0.6, D: 1}
+	w1, err := q.WaitPercentile(95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pctCache.size.Load() > 2 {
+		t.Errorf("cache size %d after overflow reset", pctCache.size.Load())
+	}
+	w2, err := q.WaitPercentile(95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Errorf("answers diverged across reset: %g vs %g", w1, w2)
+	}
+}

@@ -1,0 +1,266 @@
+package queueing
+
+import (
+	"math"
+	"math/big"
+	"sync"
+)
+
+// This file holds the fast Crommelin kernel. The classical formula
+//
+//	P(W <= t) = (1-rho) * sum_{j=0}^{k} T_j,  T_j = x_j^j/j! * e^{-x_j},
+//	x_j = lambda*(jD - t) <= 0,  k = floor(t/D)
+//
+// was previously evaluated term by term from scratch: an O(j) power loop
+// per term (O(k^2) big.Float multiplications overall) plus one full
+// extended-precision exponential per term — and the exponential, at
+// prec/2 multiplications each, dominated everything. The kernel below
+// carries both factors forward across terms:
+//
+//   - exponentials: x_{j+1} = x_j + lambda*D, so e^{-x_{j+1}} =
+//     e^{-x_j} * e^{-lambda*D}. Two bigExpBig calls per CDF evaluation
+//     (e^{lambda*t} for j=0 and the per-step factor e^{-lambda*D},
+//     cached per precision across a percentile search) replace k+1.
+//   - powers: P_{j+1} = x_{j+1}^{j+1}/(j+1)! is carried forward as
+//     P_j * (x_{j+1}/x_j)^j * x_{j+1}/(j+1); the ratio power runs in
+//     O(log j) multiplications by binary exponentiation, so a CDF call
+//     costs O(k log k) big.Float multiplications in place of O(k^2)
+//     plus k exponentials. When x_j lands exactly on zero (t an exact
+//     multiple of D) the carried product is zero and the next term is
+//     rebuilt directly — the only O(j) step, and it cannot repeat.
+//
+// For small lambda*t the alternating sum fits inside float64 headroom
+// and the big.Float machinery is skipped entirely: see waitCDFFloat64
+// for the error bound that gates the fast path.
+
+// crommelinBasePrec is the minimum big.Float mantissa precision for the
+// alternating Crommelin sum. The term magnitudes grow like e^(2*lambda*t)
+// while the result stays in [0,1], so the working precision must scale
+// with lambda*t; crommelinPrec computes the required bits.
+const crommelinBasePrec = 256
+
+// crommelinMaxPrec caps the working precision (and therefore the largest
+// lambda*t the exact formula serves; beyond it the CDF is within 1e-12
+// of its asymptotic tail for every utilization the repository sweeps).
+const crommelinMaxPrec = 1 << 13
+
+// crommelinPrec returns the working precision for arguments lambda and t:
+// enough bits to absorb e^(2*lambda*t) cancellation plus guard bits.
+func crommelinPrec(lambda, t float64) uint {
+	// log2(e^(2*lambda*t)) = 2*lambda*t/ln2 ≈ 2.885*lambda*t bits.
+	need := uint(3*lambda*t) + crommelinBasePrec
+	if need > crommelinMaxPrec {
+		return crommelinMaxPrec
+	}
+	// Round up to a multiple of 64 so repeated queries share precisions.
+	return (need + 63) &^ 63
+}
+
+// fastPathLogBound gates the float64 fast path. The float64 sum loses at
+// most (k+2)*maxTerm*eps absolutely with maxTerm <= e^{2*lambda*t}, and
+// the result is at least F(0) = 1-rho, so the relative error is bounded
+// by (k+2)*e^{2c}/(1-rho) * eps with c = lambda*t and eps ~ 1e-15 per
+// term (exp/lgamma round-off). Requiring that amplification factor to
+// stay under 1e5 keeps the fast path at least ~1e-10 accurate — an
+// order of magnitude inside the 1e-9 differential-test budget.
+const fastPathLogBound = 11.5 // ln(1e5)
+
+// waitCDFFloat64 evaluates the Crommelin sum directly in float64 when
+// the cancellation bound above holds. Terms are formed in log space
+// (j*ln|x| - lgamma(j+1) - x), which is O(1) per term, and accumulated
+// with Kahan compensation. Returns ok=false outside the proven region.
+func waitCDFFloat64(lambda, d, t, rho float64, k int) (float64, bool) {
+	c := lambda * t
+	if 2*c+math.Log(float64(k+2))-math.Log(1-rho) > fastPathLogBound {
+		return 0, false
+	}
+	var sum, comp float64
+	for j := 0; j <= k; j++ {
+		x := lambda * (float64(j)*d - t) // <= 0 for j <= k
+		var term float64
+		switch {
+		case x == 0:
+			if j == 0 {
+				term = 1
+			}
+		default:
+			lg, _ := math.Lgamma(float64(j) + 1)
+			term = math.Exp(float64(j)*math.Log(-x) - lg - x)
+			if j&1 == 1 {
+				term = -term
+			}
+		}
+		y := term - comp
+		s := sum + y
+		comp = (s - sum) - y
+		sum = s
+	}
+	v := (1 - rho) * sum
+	if v < 0 {
+		return 0, true
+	}
+	if v > 1 {
+		return 1, true
+	}
+	return v, true
+}
+
+// crommelinScratch is the big.Float working set of one extended-precision
+// CDF evaluation, pooled across calls so the hot percentile searches do
+// not re-allocate ~a dozen mantissas per evaluation.
+type crommelinScratch struct {
+	lb, db, tb           *big.Float // exactly-embedded inputs
+	ab                   *big.Float // lambda*D
+	x, prevX             *big.Float // x_j, x_{j-1}
+	expFac               *big.Float // e^{-x_j}
+	p                    *big.Float // x_j^j / j!
+	sum, ratio, rpow, sq *big.Float
+	tmp, term            *big.Float
+}
+
+var crommelinPool = sync.Pool{New: func() any {
+	s := &crommelinScratch{}
+	for _, f := range s.fields() {
+		*f = new(big.Float)
+	}
+	return s
+}}
+
+func (s *crommelinScratch) fields() []**big.Float {
+	return []**big.Float{&s.lb, &s.db, &s.tb, &s.ab, &s.x, &s.prevX,
+		&s.expFac, &s.p, &s.sum, &s.ratio, &s.rpow, &s.sq, &s.tmp, &s.term}
+}
+
+func getScratch(prec uint) *crommelinScratch {
+	s := crommelinPool.Get().(*crommelinScratch)
+	for _, f := range s.fields() {
+		// Reset before re-precisioning: SetPrec would otherwise round the
+		// stale mantissa, which is wasted work at 8k-bit precisions.
+		(*f).SetInt64(0).SetPrec(prec)
+	}
+	return s
+}
+
+func putScratch(s *crommelinScratch) { crommelinPool.Put(s) }
+
+// powBig sets dst = base^n (n >= 1) by binary exponentiation, using sq
+// as the running-square scratch. dst must not alias base or sq.
+func powBig(dst, base, sq *big.Float, n int) *big.Float {
+	dst.SetInt64(1)
+	sq.Set(base)
+	for n > 0 {
+		if n&1 == 1 {
+			dst.Mul(dst, sq)
+		}
+		n >>= 1
+		if n > 0 {
+			sq.Mul(sq, sq)
+		}
+	}
+	return dst
+}
+
+// cdfEvaluator evaluates P(W <= t) for one queue, caching the per-step
+// exponential factor e^{-lambda*D} across calls (per working precision,
+// which varies with t). Percentile searches and batch CDF evaluations
+// hold one evaluator for their whole run; the zero-cost construction in
+// MD1.WaitCDF makes a transient one.
+type cdfEvaluator struct {
+	q    MD1
+	rho  float64
+	expQ map[uint]*big.Float // e^{-lambda*D} keyed by working precision
+}
+
+// cdf returns P(W <= t); semantics identical to the classical evaluation.
+func (ev *cdfEvaluator) cdf(t float64) float64 {
+	instruments().cdfCalls.Inc()
+	if t < 0 {
+		return 0
+	}
+	if ev.rho >= 1 {
+		return 0
+	}
+	if ev.q.Lambda == 0 {
+		return 1
+	}
+	k := int(math.Floor(t / ev.q.D))
+	if v, ok := waitCDFFloat64(ev.q.Lambda, ev.q.D, t, ev.rho, k); ok {
+		return v
+	}
+	return ev.cdfBig(t, k)
+}
+
+// stepFactor returns e^{-lambda*D} at the given precision, memoized on
+// the evaluator. ab must already hold lambda*D at that precision.
+func (ev *cdfEvaluator) stepFactor(prec uint, ab *big.Float) *big.Float {
+	if v, ok := ev.expQ[prec]; ok {
+		return v
+	}
+	neg := new(big.Float).SetPrec(prec).Neg(ab)
+	v := bigExpBig(neg, prec)
+	if ev.expQ == nil {
+		ev.expQ = make(map[uint]*big.Float, 4)
+	}
+	ev.expQ[prec] = v
+	return v
+}
+
+// cdfBig runs the incremental recurrence in extended precision.
+func (ev *cdfEvaluator) cdfBig(t float64, k int) float64 {
+	prec := crommelinPrec(ev.q.Lambda, t)
+	s := getScratch(prec)
+	defer putScratch(s)
+
+	// Every intermediate must be formed in extended precision from the
+	// exactly-embedded float64 inputs. Forming x_j = lambda*(jD - t) in
+	// float64 first perturbs each alternating term by ~1e-16 relative,
+	// which the huge term magnitudes amplify into O(1) error in the sum.
+	s.lb.SetFloat64(ev.q.Lambda)
+	s.db.SetFloat64(ev.q.D)
+	s.tb.SetFloat64(t)
+	s.ab.Mul(s.lb, s.db)
+
+	// j = 0: x_0 = -lambda*t, T_0 = e^{lambda*t}.
+	s.x.Mul(s.lb, s.tb)
+	s.x.Neg(s.x)
+	s.tmp.Neg(s.x)
+	s.expFac.Set(bigExpBig(s.tmp, prec))
+	qb := ev.stepFactor(prec, s.ab)
+	s.sum.Set(s.expFac)
+	s.p.SetInt64(1)
+
+	for j := 1; j <= k; j++ {
+		s.prevX.Set(s.x)
+		s.x.Add(s.x, s.ab)
+		s.expFac.Mul(s.expFac, qb)
+		switch {
+		case j == 1:
+			s.p.Set(s.x)
+		case s.prevX.Sign() == 0:
+			// The carried product is zero (x_{j-1} = 0 exactly); rebuild
+			// P_j = x^j/j! directly. Happens at most once per call.
+			powBig(s.p, s.x, s.sq, j)
+			for i := 2; i <= j; i++ {
+				s.p.Quo(s.p, s.tmp.SetInt64(int64(i)))
+			}
+		default:
+			s.ratio.Quo(s.x, s.prevX)
+			powBig(s.rpow, s.ratio, s.sq, j-1)
+			s.p.Mul(s.p, s.rpow)
+			s.p.Mul(s.p, s.x)
+			s.p.Quo(s.p, s.tmp.SetInt64(int64(j)))
+		}
+		s.term.Mul(s.p, s.expFac)
+		s.sum.Add(s.sum, s.term)
+	}
+	s.sum.Mul(s.sum, s.tmp.SetFloat64(1-ev.rho))
+	v, _ := s.sum.Float64()
+	// Round-off can push the exact result a hair outside [0,1].
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

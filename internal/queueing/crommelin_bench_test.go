@@ -1,0 +1,118 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+// Old-vs-new benchmarks for the distribution kernel. `make bench-queueing`
+// runs these and records the headline numbers (and the derived speedups)
+// in BENCH_queueing.json so later PRs inherit a perf trajectory.
+
+// benchSink defeats dead-code elimination.
+var benchSink float64
+
+// BenchmarkWaitCDF: one extended-precision CDF evaluation on the fast
+// recurrence, at a tail point representative of a p95 search probe.
+func BenchmarkWaitCDF(b *testing.B) {
+	q := MD1{Lambda: 0.9, D: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = q.WaitCDF(12.3)
+	}
+}
+
+// BenchmarkWaitCDFReference: the same evaluation on the original
+// term-by-term implementation.
+func BenchmarkWaitCDFReference(b *testing.B) {
+	q := MD1{Lambda: 0.9, D: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = q.waitCDFReference(12.3)
+	}
+}
+
+// BenchmarkWaitCDFFloat64Path: a point inside the float64 fast-path
+// region, where the big.Float machinery is skipped entirely.
+func BenchmarkWaitCDFFloat64Path(b *testing.B) {
+	q := MD1{Lambda: 0.9, D: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = q.WaitCDF(2.5)
+	}
+}
+
+// coldRho yields a distinct utilization per iteration (golden-ratio
+// stride over [0.85, 0.95)) so every query misses the percentile cache.
+func coldRho(i int) float64 {
+	const phi = 0.6180339887498949
+	f := float64(i) * phi
+	return 0.85 + 0.1*(f-math.Floor(f))
+}
+
+// BenchmarkResponsePercentileCold: every iteration is a never-seen rho —
+// full bracket plus regula-falsi search on the fast kernel.
+func BenchmarkResponsePercentileCold(b *testing.B) {
+	resetPercentileCache()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := MD1{Lambda: coldRho(i), D: 1}
+		v, err := q.ResponsePercentile(95)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = v
+	}
+}
+
+// BenchmarkResponsePercentileWarm: repeated same-rho queries — the
+// cache-hit path every sweep consumer rides once a utilization has been
+// seen by any configuration.
+func BenchmarkResponsePercentileWarm(b *testing.B) {
+	resetPercentileCache()
+	q := MD1{Lambda: 0.9, D: 1}
+	if _, err := q.ResponsePercentile(95); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := q.ResponsePercentile(95)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = v
+	}
+}
+
+// BenchmarkResponsePercentileReference: the pre-PR implementation —
+// bisection over the term-by-term CDF, no caching — on the same cold
+// query stream as BenchmarkResponsePercentileCold.
+func BenchmarkResponsePercentileReference(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := MD1{Lambda: coldRho(i), D: 1}
+		w, err := q.waitPercentileReference(95)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = w + q.D
+	}
+}
+
+// BenchmarkResponsePercentilesBatch: five percentiles in one batched
+// call sharing brackets and scratch, cold cache, per-call cost shown
+// per percentile via b.N scaling of the whole batch.
+func BenchmarkResponsePercentilesBatch(b *testing.B) {
+	resetPercentileCache()
+	ps := []float64{50, 90, 95, 99, 99.9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := MD1{Lambda: coldRho(i), D: 1}
+		vs, err := q.ResponsePercentiles(ps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = vs[len(vs)-1]
+	}
+}

@@ -5,6 +5,16 @@
 // waiting-time distribution (Crommelin's formula), response-time
 // percentiles, a Lindley-recursion Monte-Carlo simulator used for
 // cross-validation, and an M/M/1 reference model.
+//
+// The distribution kernel is built for sweeps: WaitCDF runs an
+// incremental Crommelin recurrence (two extended-precision exponentials
+// per call instead of one per term) with a float64 fast path where
+// cancellation is provably bounded; WaitPercentile resolves through a
+// process-wide scale-invariant cache — W/D depends only on rho, so all
+// configurations at the same utilization share one search — and the
+// search itself is bracketed regula falsi rather than blind bisection.
+// WaitPercentiles/ResponsePercentiles/WaitCDFBatch amortize brackets and
+// scratch across batched queries.
 package queueing
 
 import (
@@ -13,8 +23,6 @@ import (
 	"math"
 	"math/big"
 	"sync"
-
-	"repro/internal/telemetry"
 )
 
 // MD1 is an M/D/1 queue: Poisson arrivals at rate Lambda, deterministic
@@ -67,88 +75,18 @@ func (q MD1) MeanWait() float64 {
 // MeanResponse returns the mean sojourn time (wait plus service).
 func (q MD1) MeanResponse() float64 { return q.MeanWait() + q.D }
 
-// crommelinBasePrec is the minimum big.Float mantissa precision for the
-// alternating Crommelin sum. The term magnitudes grow like e^(2*lambda*t)
-// while the result stays in [0,1], so the working precision must scale
-// with lambda*t; crommelinPrec computes the required bits.
-const crommelinBasePrec = 256
-
-// crommelinMaxPrec caps the working precision (and therefore the largest
-// lambda*t the exact formula serves; beyond it the CDF is within 1e-12
-// of its asymptotic tail for every utilization the repository sweeps).
-const crommelinMaxPrec = 1 << 13
-
-// crommelinPrec returns the working precision for arguments lambda and t:
-// enough bits to absorb e^(2*lambda*t) cancellation plus guard bits.
-func crommelinPrec(lambda, t float64) uint {
-	// log2(e^(2*lambda*t)) = 2*lambda*t/ln2 ≈ 2.885*lambda*t bits.
-	need := uint(3*lambda*t) + crommelinBasePrec
-	if need > crommelinMaxPrec {
-		return crommelinMaxPrec
-	}
-	// Round up to a multiple of 64 so repeated queries share precisions.
-	return (need + 63) &^ 63
-}
-
 // WaitCDF returns P(W <= t), the probability an arriving job waits at
 // most t before service begins, by Crommelin's classical formula
 //
 //	P(W <= t) = (1-rho) * sum_{j=0}^{k} [lambda(jD - t)]^j / j! * e^{-lambda(jD - t)}
 //
 // with k = floor(t/D). The terms alternate in sign and grow large before
-// cancelling, so the sum is evaluated in extended precision.
+// cancelling, so the sum is evaluated in extended precision — except for
+// small lambda·t, where the cancellation is provably within float64
+// headroom and a plain float64 pass suffices (see crommelin.go).
 func (q MD1) WaitCDF(t float64) float64 {
-	// A registry lookup is tens of nanoseconds against the extended-
-	// precision summation below, so per-call counting is safe here.
-	telemetry.Global().Counter("queueing.wait_cdf_calls").Inc()
-	if t < 0 {
-		return 0
-	}
-	rho := q.Rho()
-	if rho >= 1 {
-		return 0
-	}
-	if q.Lambda == 0 {
-		return 1
-	}
-	k := int(math.Floor(t / q.D))
-	prec := crommelinPrec(q.Lambda, t)
-	// Every intermediate must be formed in extended precision from the
-	// exactly-embedded float64 inputs. Forming x_j = lambda*(jD - t) in
-	// float64 first perturbs each alternating term by ~1e-16 relative,
-	// which the huge term magnitudes amplify into O(1) error in the sum.
-	lb := new(big.Float).SetPrec(prec).SetFloat64(q.Lambda)
-	db := new(big.Float).SetPrec(prec).SetFloat64(q.D)
-	tb := new(big.Float).SetPrec(prec).SetFloat64(t)
-	sum := new(big.Float).SetPrec(prec)
-	term := new(big.Float).SetPrec(prec)
-	xb := new(big.Float).SetPrec(prec)
-	for j := 0; j <= k; j++ {
-		// xb = lambda * (j*D - t), <= 0 for j <= k.
-		xb.SetInt64(int64(j))
-		xb.Mul(xb, db)
-		xb.Sub(xb, tb)
-		xb.Mul(xb, lb)
-		// term = xb^j / j! * e^{-xb}
-		term.SetFloat64(1)
-		for i := 1; i <= j; i++ {
-			term.Mul(term, xb)
-			term.Quo(term, new(big.Float).SetPrec(prec).SetInt64(int64(i)))
-		}
-		neg := new(big.Float).SetPrec(prec).Neg(xb)
-		term.Mul(term, bigExpBig(neg, prec))
-		sum.Add(sum, term)
-	}
-	sum.Mul(sum, new(big.Float).SetPrec(prec).SetFloat64(1-rho))
-	v, _ := sum.Float64()
-	// Round-off can push the exact result a hair outside [0,1].
-	if v < 0 {
-		return 0
-	}
-	if v > 1 {
-		return 1
-	}
-	return v
+	ev := cdfEvaluator{q: q, rho: q.Rho()}
+	return ev.cdf(t)
 }
 
 // ln2Cache memoizes ln 2 at the highest precision requested so far. The
@@ -172,15 +110,16 @@ func bigLn2(prec uint) *big.Float {
 	}
 	work := prec + 32
 	sum := new(big.Float).SetPrec(work)
-	x := new(big.Float).SetPrec(work).SetFloat64(1.0 / 3.0)
+	x := new(big.Float).SetPrec(work)
 	x.Quo(new(big.Float).SetPrec(work).SetInt64(1), new(big.Float).SetPrec(work).SetInt64(3))
 	nine := new(big.Float).SetPrec(work).SetInt64(9)
 	pow := new(big.Float).SetPrec(work).Copy(x) // (1/3)^(2k+1)
 	term := new(big.Float).SetPrec(work)
+	div := new(big.Float).SetPrec(work)
 	// Each term shrinks by 9x (3.17 bits); iterate until below precision.
 	iters := int(work/3) + 4
 	for k := 0; k < iters; k++ {
-		term.Quo(pow, new(big.Float).SetPrec(work).SetInt64(int64(2*k+1)))
+		term.Quo(pow, div.SetInt64(int64(2*k+1)))
 		sum.Add(sum, term)
 		pow.Quo(pow, nine)
 	}
@@ -202,20 +141,18 @@ func bigExpBig(x *big.Float, prec uint) *big.Float {
 	rb.Mul(rb, bigLn2(prec))
 	rb.Sub(x, rb) // r = x - n*ln2, |r| <= ~0.35
 	// Taylor series for e^r: term k contributes ~|r|^k/k!; stop once the
-	// term cannot affect the result at this precision.
+	// term vanishes or cannot affect the result at this precision.
 	sum := new(big.Float).SetPrec(prec).SetFloat64(1)
 	term := new(big.Float).SetPrec(prec).SetFloat64(1)
+	div := new(big.Float).SetPrec(prec)
 	// |r| <= 0.35 shrinks terms by >= ~1.5 bits plus log2(k) each step;
 	// prec/1.4 iterations are always enough.
 	iters := int(prec/2) + 16
 	for i := 1; i <= iters; i++ {
 		term.Mul(term, rb)
-		term.Quo(term, new(big.Float).SetPrec(prec).SetInt64(int64(i)))
+		term.Quo(term, div.SetInt64(int64(i)))
 		sum.Add(sum, term)
-		if term.MantExp(nil) < -int(prec)-8 && term.Sign() != 0 {
-			break
-		}
-		if term.Sign() == 0 {
+		if term.Sign() == 0 || term.MantExp(nil) < -int(prec)-8 {
 			break
 		}
 	}
@@ -226,7 +163,10 @@ func bigExpBig(x *big.Float, prec uint) *big.Float {
 }
 
 // WaitPercentile returns the p-th percentile (p in [0,100)) of the
-// waiting time, found by bracketing and bisecting the monotone CDF.
+// waiting time. M/D/1 is scale free in D at fixed rho — W/D depends only
+// on the utilization — so the search runs on the normalized queue (D=1)
+// through a process-wide memo shared by every configuration at the same
+// utilization, and the result is rescaled by D.
 func (q MD1) WaitPercentile(p float64) (float64, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
@@ -234,35 +174,21 @@ func (q MD1) WaitPercentile(p float64) (float64, error) {
 	if p < 0 || p >= 100 {
 		return 0, fmt.Errorf("queueing: percentile %g outside [0, 100)", p)
 	}
-	reg := telemetry.Global()
-	reg.Counter("queueing.percentile_searches").Inc()
-	span := reg.Tracer().Start("queueing.wait_percentile").Arg("p", p)
+	ins := instruments()
+	ins.searches.Inc()
+	span := ins.tracer.Start("queueing.wait_percentile").Arg("p", p)
 	defer span.End()
 	target := p / 100
-	if q.WaitCDF(0) >= target {
+	rho := q.Rho()
+	// The distribution has the atom P(W = 0) = 1-rho.
+	if 1-rho >= target {
 		return 0, nil
 	}
-	// Bracket: grow the upper bound geometrically from the mean wait.
-	hi := q.MeanWait()
-	if hi <= 0 {
-		hi = q.D
+	w, err := cachedNormalizedPercentile(rho, target, nil)
+	if err != nil {
+		return 0, err
 	}
-	for i := 0; q.WaitCDF(hi) < target; i++ {
-		hi *= 2
-		if i > 60 {
-			return 0, errors.New("queueing: percentile bracket failed to converge")
-		}
-	}
-	lo := 0.0
-	for i := 0; i < 100 && hi-lo > 1e-12*math.Max(1, hi); i++ {
-		mid := (lo + hi) / 2
-		if q.WaitCDF(mid) < target {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return (lo + hi) / 2, nil
+	return w * q.D, nil
 }
 
 // ResponsePercentile returns the p-th percentile of the sojourn time.

@@ -1,0 +1,77 @@
+package queueing
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WaitPercentiles returns the waiting-time percentiles for every p in ps
+// (each in [0, 100)), in the input order. The batch visits the targets
+// in ascending order so each solved percentile becomes the lower bracket
+// of the next, and shares one normalized-queue evaluator — its cached
+// per-step exponential and pooled big.Float scratch — across all
+// searches. Results are identical to calling WaitPercentile per entry.
+func (q MD1) WaitPercentiles(ps []float64) ([]float64, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	for _, p := range ps {
+		if p < 0 || p >= 100 {
+			return nil, fmt.Errorf("queueing: percentile %g outside [0, 100)", p)
+		}
+	}
+	ins := instruments()
+	span := ins.tracer.Start("queueing.wait_percentiles").Arg("n", len(ps))
+	defer span.End()
+
+	order := make([]int, len(ps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ps[order[a]] < ps[order[b]] })
+
+	rho := q.Rho()
+	st := &normState{flo: 1 - rho}
+	out := make([]float64, len(ps))
+	for _, idx := range order {
+		ins.searches.Inc()
+		target := ps[idx] / 100
+		if 1-rho >= target {
+			out[idx] = 0
+			continue
+		}
+		w, err := cachedNormalizedPercentile(rho, target, st)
+		if err != nil {
+			return nil, err
+		}
+		out[idx] = w * q.D
+	}
+	return out, nil
+}
+
+// ResponsePercentiles returns the sojourn-time percentiles for every p
+// in ps, in the input order: the batched waiting-time percentiles
+// shifted by the deterministic service time.
+func (q MD1) ResponsePercentiles(ps []float64) ([]float64, error) {
+	ws, err := q.WaitPercentiles(ps)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ws {
+		ws[i] += q.D
+	}
+	return ws, nil
+}
+
+// WaitCDFBatch returns P(W <= t) for every t in ts, sharing one
+// evaluator — and therefore one e^{-lambda*D} step factor per working
+// precision — across the evaluations. Results are identical to calling
+// WaitCDF per entry.
+func (q MD1) WaitCDFBatch(ts []float64) []float64 {
+	ev := cdfEvaluator{q: q, rho: q.Rho()}
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = ev.cdf(t)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"math/big"
+)
+
+// This file keeps the original, straightforward Crommelin evaluation —
+// every term rebuilt from scratch in extended precision with its own
+// exponential — and the original bracket-plus-bisect percentile search.
+// They are the ground truth the differential tests pin the fast kernel
+// against, and the "old" side of the old-vs-new benchmarks; nothing
+// outside tests and benchmarks should call them.
+
+// waitCDFReference evaluates P(W <= t) term by term: O(j) big.Float
+// multiplications per term plus one full extended-precision exponential
+// per term.
+func (q MD1) waitCDFReference(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	rho := q.Rho()
+	if rho >= 1 {
+		return 0
+	}
+	if q.Lambda == 0 {
+		return 1
+	}
+	k := int(math.Floor(t / q.D))
+	prec := crommelinPrec(q.Lambda, t)
+	lb := new(big.Float).SetPrec(prec).SetFloat64(q.Lambda)
+	db := new(big.Float).SetPrec(prec).SetFloat64(q.D)
+	tb := new(big.Float).SetPrec(prec).SetFloat64(t)
+	sum := new(big.Float).SetPrec(prec)
+	term := new(big.Float).SetPrec(prec)
+	xb := new(big.Float).SetPrec(prec)
+	for j := 0; j <= k; j++ {
+		// xb = lambda * (j*D - t), <= 0 for j <= k.
+		xb.SetInt64(int64(j))
+		xb.Mul(xb, db)
+		xb.Sub(xb, tb)
+		xb.Mul(xb, lb)
+		// term = xb^j / j! * e^{-xb}
+		term.SetFloat64(1)
+		for i := 1; i <= j; i++ {
+			term.Mul(term, xb)
+			term.Quo(term, new(big.Float).SetPrec(prec).SetInt64(int64(i)))
+		}
+		neg := new(big.Float).SetPrec(prec).Neg(xb)
+		term.Mul(term, bigExpBig(neg, prec))
+		sum.Add(sum, term)
+	}
+	sum.Mul(sum, new(big.Float).SetPrec(prec).SetFloat64(1-rho))
+	v, _ := sum.Float64()
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// waitPercentileReference is the original search: geometric bracketing
+// from the mean wait followed by ~60-100 blind bisection steps, each a
+// full reference CDF evaluation. No caching, no interpolation.
+func (q MD1) waitPercentileReference(p float64) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	target := p / 100
+	if q.waitCDFReference(0) >= target {
+		return 0, nil
+	}
+	hi := q.MeanWait()
+	if hi <= 0 {
+		hi = q.D
+	}
+	for i := 0; q.waitCDFReference(hi) < target; i++ {
+		hi *= 2
+		if i > 60 {
+			return 0, errors.New("queueing: percentile bracket failed to converge")
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 100 && hi-lo > 1e-12*math.Max(1, hi); i++ {
+		mid := (lo + hi) / 2
+		if q.waitCDFReference(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,86 @@
+// Package sweep is the shared worker pool behind the repository's
+// parallel sweeps: the Pareto configuration sweeps, the energyprop
+// utilization/percentile grids and the adaptive planner's candidate
+// matrix all fan out through it. It generalizes the block-dispatch
+// pattern that previously lived inside pareto.evaluateParallel: work is
+// handed to workers in contiguous index blocks over a channel — a single
+// item can be microseconds, so per-item channel traffic would dominate —
+// and each index is written by exactly one worker, so callers can use
+// fixed-slot result slices with no locking and deterministic order.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultBlock is the block size used when callers pass block <= 0:
+// large enough to amortize channel traffic for microsecond-scale items,
+// small enough to load-balance thousand-item sweeps.
+const DefaultBlock = 256
+
+// Blocks partitions [0, n) into contiguous blocks of the given size and
+// runs fn(worker, lo, hi) across a pool of workers. workers <= 0 uses
+// GOMAXPROCS; the pool never exceeds the number of blocks. With one
+// worker (or one block) everything runs inline on the caller's
+// goroutine, so small sweeps pay no synchronization at all. Blocks
+// returns after every block has completed.
+func Blocks(n, workers, block int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if block <= 0 {
+		block = DefaultBlock
+	}
+	nblocks := (n + block - 1) / block
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nblocks {
+		workers = nblocks
+	}
+	if workers == 1 {
+		for lo := 0; lo < n; lo += block {
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			fn(0, lo, hi)
+		}
+		return
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan [2]int)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				fn(w, r[0], r[1])
+			}
+		}()
+	}
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		next <- [2]int{lo, hi}
+	}
+	close(next)
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the pool, one item per
+// block — the right shape when each item is itself expensive (a
+// percentile search, a model evaluation), where block batching would
+// only hurt load balance.
+func ForEach(n, workers int, fn func(i int)) {
+	Blocks(n, workers, 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
