@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race vet check bench bench-queueing reproduce examples fuzz clean
+.PHONY: all build test test-race race vet check serve-smoke bench bench-queueing reproduce examples fuzz clean
 
 all: build vet test
 
@@ -13,13 +13,21 @@ build:
 vet:
 	$(GO) vet ./...
 
-# check is the pre-commit gate: formatting, vet, build, tests.
+# check is the pre-commit gate: formatting, vet, build, tests, and the
+# epserve end-to-end smoke run.
 check:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) serve-smoke
+
+# serve-smoke boots epserve on an ephemeral port, drives the loadgen mix
+# for 5s, checks the /metrics exposition, and fails on any 5xx, a warm
+# p99 above bound, or an unclean SIGTERM drain.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
 
 test:
 	$(GO) test ./...
@@ -28,10 +36,12 @@ test-race:
 	$(GO) test -race ./...
 
 # Alias: the observability docs and CI refer to `make race`. The extra
-# invocation hammers the queueing percentile cache specifically — the
-# one shared-mutable structure the parallel sweeps contend on.
+# invocations hammer the queueing percentile cache and the full serve
+# path specifically — the shared-mutable structures concurrent HTTP
+# load contends on.
 race: test-race
 	$(GO) test -race -run TestPercentileCacheConcurrent -count 2 ./internal/queueing/
+	$(GO) test -race -run TestServeRaceHammer -count 2 ./internal/serve/
 
 # One benchmark iteration per experiment: regenerates every table/figure
 # metric quickly. Drop -benchtime for full statistical runs. Output also

@@ -1,0 +1,64 @@
+// Command loadgen drives closed-loop HTTP load against a running
+// epserve instance and prints status-code counts and latency
+// percentiles. With -fail-on-5xx it exits non-zero if any request drew
+// a 5xx — the `make serve-smoke` gate.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -duration 5s -concurrency 16 -fail-on-5xx
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "epserve base URL")
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive load")
+	concurrency := flag.Int("concurrency", 16, "closed-loop worker count")
+	paths := flag.String("paths", "", "comma-separated request paths (empty = built-in mix)")
+	failOn5xx := flag.Bool("fail-on-5xx", false, "exit non-zero if any request drew a 5xx response")
+	maxP99 := flag.Duration("max-p99", 0, "exit non-zero if client-side p99 latency exceeds this (0 = no bound)")
+	flag.Parse()
+
+	if err := run(*url, *duration, *concurrency, *paths, *failOn5xx, *maxP99); err != nil {
+		cli.Fatal("loadgen", err)
+	}
+}
+
+func run(url string, duration time.Duration, concurrency int, rawPaths string, failOn5xx bool, maxP99 time.Duration) error {
+	cfg := loadgen.Config{
+		BaseURL:     strings.TrimRight(url, "/"),
+		Concurrency: concurrency,
+		Duration:    duration,
+	}
+	if rawPaths != "" {
+		cfg.Paths = strings.Split(rawPaths, ",")
+	}
+	res, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if failOn5xx {
+		if n := res.Count5xx(); n > 0 {
+			return fmt.Errorf("%d requests drew a 5xx response", n)
+		}
+		if res.TransportErrors > 0 {
+			return fmt.Errorf("%d requests failed at the transport layer", res.TransportErrors)
+		}
+	}
+	if maxP99 > 0 {
+		if p99 := res.Latency(99); p99 > maxP99 {
+			return fmt.Errorf("p99 latency %v exceeds bound %v", p99, maxP99)
+		}
+	}
+	return nil
+}

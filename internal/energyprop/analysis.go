@@ -1,6 +1,7 @@
 package energyprop
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -109,14 +110,25 @@ func (a *Analysis) SweepParallel(grid []float64, workers int, f func(u float64) 
 // the first sweep at each (rho, p) pays for a search. workers <= 0 uses
 // GOMAXPROCS.
 func (a *Analysis) ResponsePercentilesAt(grid []float64, p float64, workers int) ([]float64, error) {
+	return a.ResponsePercentilesAtContext(context.Background(), grid, p, workers)
+}
+
+// ResponsePercentilesAtContext is ResponsePercentilesAt with
+// cancellation: the sweep pool stops dispatching grid points once ctx is
+// done and the ctx error is returned — the path by which a serving
+// deadline reaches the percentile searches. Points already dispatched
+// complete (one per worker at most).
+func (a *Analysis) ResponsePercentilesAtContext(ctx context.Context, grid []float64, p float64, workers int) ([]float64, error) {
 	span := telemetry.StartSpan("energyprop.response_sweep").
 		Arg("points", len(grid)).Arg("p", p)
 	defer span.End()
 	out := make([]float64, len(grid))
 	errs := make([]error, len(grid))
-	sweep.ForEach(len(grid), workers, func(i int) {
+	if err := sweep.ForEachContext(ctx, len(grid), workers, func(i int) {
 		out[i], errs[i] = a.ResponsePercentileAt(grid[i], p)
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("energyprop: response sweep: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("energyprop: response percentile at u=%g: %w", grid[i], err)

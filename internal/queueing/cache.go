@@ -57,18 +57,29 @@ type pctEntry struct {
 	err  error
 }
 
-var pctCache struct {
-	m    atomic.Pointer[sync.Map]
+// pctGeneration pairs the memo map with its own entry counter. Keeping
+// the counter inside the generation (rather than beside the map pointer)
+// makes the size accounting race-free across resets: a goroutine that
+// loaded an old generation increments that generation's counter, never
+// the fresh one, so a swap can neither leak uncounted entries into the
+// new map nor inherit stale counts that would trigger spurious resets —
+// both observable as cache thrash (miss-counter inflation) under
+// concurrent serving load.
+type pctGeneration struct {
+	m    sync.Map
 	size atomic.Int64
 }
 
-func init() { pctCache.m.Store(new(sync.Map)) }
+var pctCache atomic.Pointer[pctGeneration]
 
-// resetPercentileCache drops every memoized percentile. Used when the
-// map outgrows pctCacheMaxEntries, and by tests that need a cold cache.
+func init() { pctCache.Store(new(pctGeneration)) }
+
+// resetPercentileCache drops every memoized percentile by installing a
+// fresh generation. Used when the map outgrows pctCacheMaxEntries, and
+// by tests that need a cold cache. In-flight lookups against the old
+// generation complete against it and are then unreachable.
 func resetPercentileCache() {
-	pctCache.m.Store(new(sync.Map))
-	pctCache.size.Store(0)
+	pctCache.Store(new(pctGeneration))
 }
 
 // normState carries warm search state across the queries of one batch:
@@ -90,14 +101,14 @@ func cachedNormalizedPercentile(rho, target float64, st *normState) (float64, er
 	ins := instruments()
 	rhoQ := quantizeRho(rho)
 	key := pctKey{rho: rhoQ, target: math.Float64bits(target)}
-	m := pctCache.m.Load()
+	gen := pctCache.Load()
 	e := &pctEntry{}
-	if got, loaded := m.LoadOrStore(key, e); loaded {
+	if got, loaded := gen.m.LoadOrStore(key, e); loaded {
 		e = got.(*pctEntry)
 		ins.cacheHits.Inc()
 	} else {
 		ins.cacheMisses.Inc()
-		if pctCache.size.Add(1) > pctCacheMaxEntries {
+		if gen.size.Add(1) > pctCacheMaxEntries {
 			resetPercentileCache()
 		}
 	}

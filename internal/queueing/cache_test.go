@@ -140,14 +140,14 @@ func TestPercentileCacheResetOnOverflow(t *testing.T) {
 	resetPercentileCache()
 	defer resetPercentileCache()
 	// Simulate a full cache rather than solving 32k percentiles.
-	pctCache.size.Store(pctCacheMaxEntries)
+	pctCache.Load().size.Store(pctCacheMaxEntries)
 	q := MD1{Lambda: 0.6, D: 1}
 	w1, err := q.WaitPercentile(95)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pctCache.size.Load() > 2 {
-		t.Errorf("cache size %d after overflow reset", pctCache.size.Load())
+	if n := pctCache.Load().size.Load(); n > 2 {
+		t.Errorf("cache size %d after overflow reset", n)
 	}
 	w2, err := q.WaitPercentile(95)
 	if err != nil {

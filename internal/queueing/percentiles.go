@@ -1,6 +1,7 @@
 package queueing
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -12,6 +13,17 @@ import (
 // per-step exponential and pooled big.Float scratch — across all
 // searches. Results are identical to calling WaitPercentile per entry.
 func (q MD1) WaitPercentiles(ps []float64) ([]float64, error) {
+	return q.WaitPercentilesContext(context.Background(), ps)
+}
+
+// WaitPercentilesContext is WaitPercentiles with cancellation: the batch
+// checks ctx between percentile searches and stops with ctx's error as
+// soon as it is done. A search already under way (microseconds on the
+// fast path, milliseconds at extreme utilization) completes before the
+// check, so cancellation granularity is one search. This is the entry
+// point request-scoped callers (the epserve handlers) use to propagate
+// per-request deadlines into the kernel.
+func (q MD1) WaitPercentilesContext(ctx context.Context, ps []float64) ([]float64, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -34,6 +46,9 @@ func (q MD1) WaitPercentiles(ps []float64) ([]float64, error) {
 	st := &normState{flo: 1 - rho}
 	out := make([]float64, len(ps))
 	for _, idx := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("queueing: percentile batch: %w", err)
+		}
 		ins.searches.Inc()
 		target := ps[idx] / 100
 		if 1-rho >= target {
@@ -53,7 +68,13 @@ func (q MD1) WaitPercentiles(ps []float64) ([]float64, error) {
 // in ps, in the input order: the batched waiting-time percentiles
 // shifted by the deterministic service time.
 func (q MD1) ResponsePercentiles(ps []float64) ([]float64, error) {
-	ws, err := q.WaitPercentiles(ps)
+	return q.ResponsePercentilesContext(context.Background(), ps)
+}
+
+// ResponsePercentilesContext is ResponsePercentiles with cancellation,
+// with the same per-search granularity as WaitPercentilesContext.
+func (q MD1) ResponsePercentilesContext(ctx context.Context, ps []float64) ([]float64, error) {
+	ws, err := q.WaitPercentilesContext(ctx, ps)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errShed is returned by limiter.acquire when the wait queue is full;
+// the middleware maps it to 429 with a Retry-After header.
+var errShed = errors.New("serve: overloaded, request shed")
+
+// limiter is the bounded admission control in front of every model
+// endpoint: at most maxInflight requests execute concurrently (slots is
+// a channel semaphore), at most maxQueue more wait for a slot, and
+// anything beyond that is shed immediately. Shedding at a bounded queue
+// depth rather than queueing without limit keeps tail latency bounded
+// under overload — the same argument the M/D/1 analysis this service
+// exposes makes about its modelled clusters.
+type limiter struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	ins      *instruments
+}
+
+func newLimiter(maxInflight, maxQueue int, ins *instruments) *limiter {
+	return &limiter{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: int64(maxQueue),
+		ins:      ins,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if all
+// slots are busy. It returns errShed when the queue is full, the ctx
+// error if the request's deadline expires (or the client disconnects)
+// while waiting, and nil once a slot is held — the caller must then
+// release exactly once.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted()
+		return nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		l.ins.shed.Inc()
+		return errShed
+	}
+	l.ins.queueWaits.Inc()
+	l.ins.queueDepth.Add(1)
+	defer func() {
+		l.queued.Add(-1)
+		l.ins.queueDepth.Add(-1)
+	}()
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) admitted() {
+	l.ins.admitted.Inc()
+	l.ins.inflight.Add(1)
+}
+
+// release returns a slot claimed by acquire.
+func (l *limiter) release() {
+	<-l.slots
+	l.ins.inflight.Add(-1)
+}

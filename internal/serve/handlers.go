@@ -1,0 +1,638 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/cluster"
+	"repro/internal/energyprop"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/pareto"
+	"repro/internal/queueing"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/units"
+)
+
+// maxPercentiles bounds the p= list of one /v1/percentiles request.
+const maxPercentiles = 32
+
+// analysisCacheMax bounds the (workload, mix) -> Analysis memo; past it
+// the map is dropped and refilled, mirroring the queueing percentile
+// cache's overflow policy.
+const analysisCacheMax = 4096
+
+// analysisCache memoizes model evaluations per (workload, mix): the
+// model is pure, so a warm entry turns /v1/percentiles and
+// /v1/epmetrics into a map lookup plus (cached) percentile queries.
+type analysisCache struct {
+	mu sync.Mutex
+	m  map[string]*energyprop.Analysis
+}
+
+func (c *analysisCache) get(key string) (*energyprop.Analysis, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.m[key]
+	return a, ok
+}
+
+func (c *analysisCache) put(key string, a *energyprop.Analysis) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= analysisCacheMax {
+		c.m = nil
+	}
+	if c.m == nil {
+		c.m = make(map[string]*energyprop.Analysis)
+	}
+	c.m[key] = a
+}
+
+// analysis resolves the cached Analysis for (workload, mix), computing
+// and memoizing it on miss. Lookup failures map to 404, everything else
+// to 400.
+func (s *Server) analysis(w http.ResponseWriter, wlName, mix string) (*energyprop.Analysis, bool) {
+	key := wlName + "|" + mix
+	if a, ok := s.analyses.get(key); ok {
+		return a, true
+	}
+	wl, err := s.cfg.Workloads.Lookup(wlName)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return nil, false
+	}
+	cfg, err := cli.ParseMix(s.cfg.Catalog, mix, 0, 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("invalid mix %q: %v", mix, err))
+		return nil, false
+	}
+	a, err := energyprop.Analyze(cfg, wl, model.Options{}, 200)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return nil, false
+	}
+	s.analyses.put(key, a)
+	return a, true
+}
+
+// PercentilePoint is one percentile of the waiting/response-time
+// distribution in a PercentilesResponse.
+type PercentilePoint struct {
+	// P is the percentile in [0, 100).
+	P float64 `json:"p"`
+	// WaitSeconds is the p-th percentile of the time a job waits before
+	// service begins.
+	WaitSeconds float64 `json:"wait_seconds"`
+	// ResponseSeconds is the p-th percentile of the sojourn time
+	// (wait + deterministic service).
+	ResponseSeconds float64 `json:"response_seconds"`
+}
+
+// PercentilesResponse is the /v1/percentiles response body.
+type PercentilesResponse struct {
+	// Workload and Mix echo the request in model mode; both are empty in
+	// raw service-time mode.
+	Workload string `json:"workload,omitempty"`
+	Mix      string `json:"mix,omitempty"`
+	// Utilization is the server utilization rho the queue was built for.
+	Utilization float64 `json:"utilization"`
+	// ServiceTimeSeconds is the M/D/1 deterministic service time: the
+	// model's job execution time T_P in model mode, the d parameter in
+	// raw mode.
+	ServiceTimeSeconds float64 `json:"service_time_seconds"`
+	// ArrivalRatePerSecond is the Poisson arrival rate rho/D.
+	ArrivalRatePerSecond float64 `json:"arrival_rate_per_second"`
+	// MeanWaitSeconds and MeanResponseSeconds are the Pollaczek-Khinchine
+	// means.
+	MeanWaitSeconds     float64 `json:"mean_wait_seconds"`
+	MeanResponseSeconds float64 `json:"mean_response_seconds"`
+	// Percentiles holds one entry per requested p, in request order.
+	Percentiles []PercentilePoint `json:"percentiles"`
+}
+
+// handlePercentiles serves GET /v1/percentiles: exact M/D/1
+// waiting/response-time percentiles at a target utilization, for either
+// a (workload, mix) pair run through the time-energy model or a raw
+// service time d.
+func (s *Server) handlePercentiles(w http.ResponseWriter, r *http.Request) {
+	if !allowGet(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	u, ok := parseFloatParam(w, q.Get("u"), "u", true)
+	if !ok {
+		return
+	}
+	if u < 0 || u >= 1 {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("utilization u=%g outside [0, 1)", u))
+		return
+	}
+	ps, ok := parsePercentiles(w, q.Get("p"))
+	if !ok {
+		return
+	}
+
+	mix, rawD := q.Get("mix"), q.Get("d")
+	var serviceTime float64
+	var wlName string
+	switch {
+	case mix != "" && rawD != "":
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"pass either mix= (model mode) or d= (raw service time), not both")
+		return
+	case mix != "":
+		wlName = q.Get("workload")
+		if wlName == "" {
+			wlName = "EP"
+		}
+		a, ok := s.analysis(w, wlName, mix)
+		if !ok {
+			return
+		}
+		serviceTime = float64(a.Result.Time)
+	case rawD != "":
+		d, ok := parseFloatParam(w, rawD, "d", true)
+		if !ok {
+			return
+		}
+		if d <= 0 {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				"service time d must be positive")
+			return
+		}
+		serviceTime = d
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"missing mix= (model mode) or d= (raw service time)")
+		return
+	}
+
+	key := fmt.Sprintf("pct|%s|%s|%g|%g|%s", wlName, mix, serviceTime, u, q.Get("p"))
+	v, shared, err := s.flights.do(r.Context(), key, func() (any, error) {
+		queue, err := queueing.NewMD1FromUtilization(u, serviceTime)
+		if err != nil {
+			return nil, err
+		}
+		waits, err := queue.WaitPercentilesContext(r.Context(), ps)
+		if err != nil {
+			return nil, err
+		}
+		resp := &PercentilesResponse{
+			Workload:             wlName,
+			Mix:                  mix,
+			Utilization:          u,
+			ServiceTimeSeconds:   serviceTime,
+			ArrivalRatePerSecond: queue.Lambda,
+			MeanWaitSeconds:      queue.MeanWait(),
+			MeanResponseSeconds:  queue.MeanResponse(),
+			Percentiles:          make([]PercentilePoint, len(ps)),
+		}
+		for i, p := range ps {
+			resp.Percentiles[i] = PercentilePoint{
+				P:               p,
+				WaitSeconds:     waits[i],
+				ResponseSeconds: waits[i] + serviceTime,
+			}
+		}
+		return resp, nil
+	})
+	if shared {
+		s.ins.coalesced.Inc()
+	}
+	if err != nil {
+		s.computeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// MetricsBlock carries the Table 3 cumulative proportionality metrics
+// in an EPMetricsResponse.
+type MetricsBlock struct {
+	DPR      float64 `json:"dpr"`
+	IPR      float64 `json:"ipr"`
+	EPM      float64 `json:"epm"`
+	LDR      float64 `json:"ldr"`
+	ChordLDR float64 `json:"chord_ldr"`
+}
+
+// ReferenceBlock reports sub-linearity against a reference
+// configuration's ideal proportionality line.
+type ReferenceBlock struct {
+	// Mix is the reference configuration.
+	Mix string `json:"mix"`
+	// PeakWatts is the reference peak power all curves normalize to.
+	PeakWatts float64 `json:"peak_watts"`
+	// Sublinear reports whether the configuration falls below the
+	// reference ideal line anywhere on the probe grid.
+	Sublinear bool `json:"sublinear"`
+	// SublinearFromU/ToU bound the sub-linear utilization interval when
+	// Sublinear is true.
+	SublinearFromU float64 `json:"sublinear_from_u,omitempty"`
+	SublinearToU   float64 `json:"sublinear_to_u,omitempty"`
+}
+
+// EPMetricsResponse is the /v1/epmetrics response body.
+type EPMetricsResponse struct {
+	Workload string `json:"workload"`
+	Mix      string `json:"mix"`
+	// TimeSeconds and EnergyJoules are the per-job time-energy model
+	// outcome (Table 2).
+	TimeSeconds  float64 `json:"time_seconds"`
+	EnergyJoules float64 `json:"energy_joules"`
+	// IdleWatts and PeakWatts are the endpoints of the power curve.
+	IdleWatts float64 `json:"idle_watts"`
+	PeakWatts float64 `json:"peak_watts"`
+	// ThroughputPerSecond is work units per second while executing.
+	ThroughputPerSecond float64 `json:"throughput_per_second"`
+	// Metrics holds the cumulative proportionality metrics.
+	Metrics MetricsBlock `json:"metrics"`
+	// Reference is present when ref= was given.
+	Reference *ReferenceBlock `json:"reference,omitempty"`
+}
+
+// handleEpmetrics serves GET /v1/epmetrics: the Table 3 energy
+// proportionality metrics of one (workload, mix), optionally normalized
+// against a reference mix to expose sub-linear proportionality.
+func (s *Server) handleEpmetrics(w http.ResponseWriter, r *http.Request) {
+	if !allowGet(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	mix := q.Get("mix")
+	if mix == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "missing mix=")
+		return
+	}
+	wlName := q.Get("workload")
+	if wlName == "" {
+		wlName = "EP"
+	}
+	a, ok := s.analysis(w, wlName, mix)
+	if !ok {
+		return
+	}
+	m := a.Metrics()
+	resp := EPMetricsResponse{
+		Workload:            wlName,
+		Mix:                 mix,
+		TimeSeconds:         float64(a.Result.Time),
+		EnergyJoules:        float64(a.Result.Energy),
+		IdleWatts:           float64(a.Result.IdlePower),
+		PeakWatts:           float64(a.Result.BusyPower),
+		ThroughputPerSecond: float64(a.Result.Throughput),
+		Metrics: MetricsBlock{
+			DPR: m.DPR, IPR: m.IPR, EPM: m.EPM, LDR: m.LDR, ChordLDR: m.ChordLDR,
+		},
+	}
+	if refMix := q.Get("ref"); refMix != "" {
+		refA, ok := s.analysis(w, wlName, refMix)
+		if !ok {
+			return
+		}
+		ref := energyprop.Reference{PeakPower: float64(refA.Result.BusyPower)}
+		block := &ReferenceBlock{Mix: refMix, PeakWatts: ref.PeakPower}
+		lo, hi, sub := ref.SublinearRange(a.CurveRes, stats.Linspace(0.05, 1, 96))
+		block.Sublinear = sub
+		if sub {
+			block.SublinearFromU, block.SublinearToU = lo, hi
+		}
+		resp.Reference = block
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// FrontierPoint is one configuration on the energy-deadline Pareto
+// frontier in a FrontierResponse.
+type FrontierPoint struct {
+	// Mix is the configuration in COUNTxTYPE notation.
+	Mix string `json:"mix"`
+	// TimeSeconds and EnergyJoules are the per-job model outcome.
+	TimeSeconds  float64 `json:"time_seconds"`
+	EnergyJoules float64 `json:"energy_joules"`
+	// PeakWatts is the configuration's nominal peak power.
+	PeakWatts float64 `json:"peak_watts"`
+	// MeanPowerWatts is the cluster-average power while executing.
+	MeanPowerWatts float64 `json:"mean_power_watts"`
+}
+
+// FrontierResponse is the /v1/frontier response body.
+type FrontierResponse struct {
+	Workload string `json:"workload"`
+	// Explored is the configuration-space size enumerated; Filtered how
+	// many a power budget pruned before evaluation; Evaluated how many
+	// ran through the model.
+	Explored  int `json:"explored"`
+	Filtered  int `json:"filtered"`
+	Evaluated int `json:"evaluated"`
+	// Frontier is the Pareto-optimal set, ascending in time.
+	Frontier []FrontierPoint `json:"frontier"`
+	// SweetRegion holds the frontier points meeting the deadline and
+	// energy budget, when either was given.
+	SweetRegion []FrontierPoint `json:"sweet_region,omitempty"`
+	// Recommended is the minimum-energy sweet-region point, or the
+	// minimum energy-delay-product frontier point when no constraint was
+	// given. Absent when the sweet region is empty.
+	Recommended *FrontierPoint `json:"recommended,omitempty"`
+}
+
+// handleFrontier serves GET /v1/frontier: the energy-deadline Pareto
+// frontier over the A9/K10 mix space, with optional power budget,
+// deadline and energy-budget constraints. The sweep fans out across the
+// worker pool and honors the request deadline.
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	if !allowGet(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	wlName := q.Get("workload")
+	if wlName == "" {
+		wlName = "EP"
+	}
+	maxA9, ok := parseIntParam(w, q.Get("max_a9"), "max_a9", 32)
+	if !ok {
+		return
+	}
+	maxK10, ok := parseIntParam(w, q.Get("max_k10"), "max_k10", 12)
+	if !ok {
+		return
+	}
+	dvfs := q.Get("dvfs") == "true" || q.Get("dvfs") == "1"
+	powerW, ok := parseFloatParam(w, q.Get("power"), "power", false)
+	if !ok {
+		return
+	}
+	var deadline, energy float64
+	if raw := q.Get("deadline"); raw != "" {
+		d, err := parseDurationOrSeconds(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("invalid deadline %q: %v", raw, err))
+			return
+		}
+		deadline = d
+	}
+	if energy, ok = parseFloatParam(w, q.Get("energy"), "energy", false); !ok {
+		return
+	}
+
+	wl, err := s.cfg.Workloads.Lookup(wlName)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	a9, err := s.cfg.Catalog.Lookup("A9")
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	k10, err := s.cfg.Catalog.Lookup("K10")
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	limits := []cluster.Limit{
+		{Type: a9, MaxNodes: maxA9, FixCoresAndFreq: !dvfs},
+		{Type: k10, MaxNodes: maxK10, FixCoresAndFreq: !dvfs},
+	}
+	space := cluster.SpaceSize(limits)
+	if space > s.cfg.MaxFrontierConfigs {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("configuration space %d exceeds the per-request cap %d; lower max_a9/max_k10 or disable dvfs",
+				space, s.cfg.MaxFrontierConfigs))
+		return
+	}
+
+	key := fmt.Sprintf("frontier|%s|%d|%d|%t|%g|%g|%g", wlName, maxA9, maxK10, dvfs, powerW, deadline, energy)
+	v, shared, err := s.flights.do(r.Context(), key, func() (any, error) {
+		return s.sweepFrontier(r.Context(), wl.Name, limits, powerW, deadline, energy)
+	})
+	if shared {
+		s.ins.coalesced.Inc()
+	}
+	if err != nil {
+		s.computeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// sweepFrontier enumerates the space, prunes by peak-power budget,
+// evaluates the survivors across the sweep pool under ctx, and folds
+// the results into the frontier and sweet region.
+func (s *Server) sweepFrontier(ctx context.Context, wlName string, limits []cluster.Limit, powerW, deadline, energy float64) (*FrontierResponse, error) {
+	wl, err := s.cfg.Workloads.Lookup(wlName)
+	if err != nil {
+		return nil, err
+	}
+	configs, err := cluster.EnumerateAll(limits)
+	if err != nil {
+		return nil, err
+	}
+	resp := &FrontierResponse{Workload: wlName, Explored: len(configs)}
+
+	if powerW > 0 {
+		sw := hardware.DefaultSwitch()
+		kept := configs[:0]
+		for _, cfg := range configs {
+			peak := float64(cfg.NominalPeak()) + float64(sw.Power(cfg.Count("A9")))
+			if peak <= powerW {
+				kept = append(kept, cfg)
+			}
+		}
+		resp.Filtered = len(configs) - len(kept)
+		configs = kept
+	}
+
+	points := make([]*pareto.Point, len(configs))
+	err = sweep.BlocksContext(ctx, len(configs), s.cfg.Workers, sweep.DefaultBlock, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			res, err := model.Evaluate(configs[i], wl, model.Options{})
+			if err != nil {
+				continue // workload cannot run on this configuration
+			}
+			points[i] = &pareto.Point{Config: configs[i], Time: res.Time, Energy: res.Energy, Result: res}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: frontier sweep: %w", err)
+	}
+	evaluated := make([]pareto.Point, 0, len(points))
+	for _, p := range points {
+		if p != nil {
+			evaluated = append(evaluated, *p)
+		}
+	}
+	resp.Evaluated = len(evaluated)
+
+	frontier := pareto.Frontier(evaluated)
+	resp.Frontier = make([]FrontierPoint, len(frontier))
+	for i, p := range frontier {
+		resp.Frontier[i] = frontierPoint(p)
+	}
+
+	if deadline > 0 || energy > 0 {
+		sweet := pareto.SweetRegion(frontier, units.Seconds(deadline), units.Joules(energy))
+		resp.SweetRegion = make([]FrontierPoint, len(sweet))
+		best := -1
+		for i, p := range sweet {
+			resp.SweetRegion[i] = frontierPoint(p)
+			if best < 0 || p.Energy < sweet[best].Energy {
+				best = i
+			}
+		}
+		if best >= 0 {
+			rec := resp.SweetRegion[best]
+			resp.Recommended = &rec
+		}
+	} else if p, ok := pareto.MinEDP(frontier); ok {
+		rec := frontierPoint(p)
+		resp.Recommended = &rec
+	}
+	return resp, nil
+}
+
+func frontierPoint(p pareto.Point) FrontierPoint {
+	return FrontierPoint{
+		Mix:            p.Config.String(),
+		TimeSeconds:    float64(p.Time),
+		EnergyJoules:   float64(p.Energy),
+		PeakWatts:      float64(p.Config.NominalPeak()),
+		MeanPowerWatts: float64(p.Result.BusyPower),
+	}
+}
+
+// HealthResponse is the /v1/healthz and /v1/readyz response body.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// handleHealthz reports process liveness: it answers 200 as long as the
+// process can serve HTTP at all, including during drain.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// handleReadyz reports whether the service should receive new traffic:
+// 200 "ready" while serving, 503 "draining" once Shutdown has begun —
+// the flip happens before the listener drains, so load balancers see
+// the instance leave the pool ahead of the drain.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ready"})
+}
+
+// computeError maps a computation error onto the HTTP error envelope:
+// context errors (deadline, disconnect) become 504, everything else
+// 400 — by the time computation starts, inputs were syntactically valid,
+// so remaining failures are semantic (e.g. unstable queue).
+func (s *Server) computeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.deadlineError(w, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+}
+
+// allowGet enforces GET/HEAD on read-only endpoints.
+func allowGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("method %s not allowed", r.Method))
+		return false
+	}
+	return true
+}
+
+// parseFloatParam parses a float query parameter. With required=false
+// an empty raw value yields (0, true).
+func parseFloatParam(w http.ResponseWriter, raw, name string, required bool) (float64, bool) {
+	if raw == "" {
+		if required {
+			writeError(w, http.StatusBadRequest, "bad_request", "missing "+name+"=")
+			return 0, false
+		}
+		return 0, true
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("invalid %s=%q: %v", name, raw, err))
+		return 0, false
+	}
+	return v, true
+}
+
+// parseIntParam parses an integer query parameter with a default for
+// the empty value.
+func parseIntParam(w http.ResponseWriter, raw, name string, def int) (int, bool) {
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("invalid %s=%q: want a non-negative integer", name, raw))
+		return 0, false
+	}
+	return v, true
+}
+
+// parsePercentiles parses the comma-separated p= list, defaulting to
+// 50,95,99.
+func parsePercentiles(w http.ResponseWriter, raw string) ([]float64, bool) {
+	if raw == "" {
+		return []float64{50, 95, 99}, true
+	}
+	parts := strings.Split(raw, ",")
+	if len(parts) > maxPercentiles {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("at most %d percentiles per request, got %d", maxPercentiles, len(parts)))
+		return nil, false
+	}
+	ps := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		p, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || p < 0 || p >= 100 {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("invalid percentile %q: want a number in [0, 100)", part))
+			return nil, false
+		}
+		ps = append(ps, p)
+	}
+	return ps, true
+}
+
+// parseDurationOrSeconds accepts both Go duration syntax ("1.5s",
+// "300ms") and a bare number of seconds ("1.5").
+func parseDurationOrSeconds(raw string) (float64, error) {
+	if v, err := strconv.ParseFloat(raw, 64); err == nil {
+		if v < 0 {
+			return 0, errors.New("must be non-negative")
+		}
+		return v, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, errors.New("must be non-negative")
+	}
+	return d.Seconds(), nil
+}

@@ -1,0 +1,199 @@
+// Package loadgen is a closed-loop HTTP load driver for epserve: a
+// fixed number of workers issue requests back-to-back against a target
+// for a fixed duration, recording status-code counts and client-side
+// latency percentiles. It backs the overload tests and the
+// `make serve-smoke` gate, which fails the build on any 5xx.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Paths are request paths (with query) cycled through by each worker;
+	// empty uses a default mix of percentile queries.
+	Paths []string
+	// Concurrency is the number of closed-loop workers; 0 means 8.
+	Concurrency int
+	// Duration is how long workers keep issuing requests; 0 means 5s.
+	Duration time.Duration
+	// Client issues the requests; nil uses a client with a 30s timeout.
+	Client *http.Client
+}
+
+// DefaultPaths is the request mix used when Config.Paths is empty: hot
+// cached percentile queries plus a metrics scrape, approximating a
+// dashboard's steady-state traffic.
+var DefaultPaths = []string{
+	"/v1/percentiles?d=1&u=0.9",
+	"/v1/percentiles?d=1&u=0.5&p=50,90,99,99.9",
+	"/v1/percentiles?workload=EP&mix=32xA9,12xK10&u=0.8",
+	"/v1/epmetrics?workload=EP&mix=32xA9,12xK10",
+	"/metrics",
+}
+
+// Result aggregates one load run.
+type Result struct {
+	// Requests is the total number of requests issued.
+	Requests int
+	// Status counts responses by HTTP status code.
+	Status map[int]int
+	// TransportErrors counts requests that failed before a status line
+	// (dial errors, timeouts). Context cancellation at the end of the run
+	// is not counted.
+	TransportErrors int
+	// Elapsed is the wall-clock span of the run.
+	Elapsed time.Duration
+	// latencies holds every successful request's client-side latency,
+	// sorted ascending.
+	latencies []time.Duration
+}
+
+// Throughput returns completed requests per second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// Latency returns the p-th percentile (0 < p <= 100) of client-side
+// latency over responses that carried a status code, or 0 when none did.
+func (r *Result) Latency(p float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(r.latencies)))
+	if idx >= len(r.latencies) {
+		idx = len(r.latencies) - 1
+	}
+	return r.latencies[idx]
+}
+
+// Count5xx returns the number of 5xx responses — the smoke gate's
+// failure condition.
+func (r *Result) Count5xx() int {
+	n := 0
+	for code, c := range r.Status {
+		if code >= 500 {
+			n += c
+		}
+	}
+	return n
+}
+
+// String formats the run summary as a human-readable block.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests  %d in %v (%.0f req/s)\n", r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput())
+	codes := make([]int, 0, len(r.Status))
+	for code := range r.Status {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(&b, "  status %d: %d\n", code, r.Status[code])
+	}
+	if r.TransportErrors > 0 {
+		fmt.Fprintf(&b, "  transport errors: %d\n", r.TransportErrors)
+	}
+	fmt.Fprintf(&b, "latency   p50 %v  p95 %v  p99 %v",
+		r.Latency(50).Round(time.Microsecond),
+		r.Latency(95).Round(time.Microsecond),
+		r.Latency(99).Round(time.Microsecond))
+	return b.String()
+}
+
+// Run drives the load: Concurrency workers issue the Paths mix
+// back-to-back until Duration elapses or ctx is cancelled, then the
+// per-worker tallies merge into one Result.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadgen: BaseURL required")
+	}
+	paths := cfg.Paths
+	if len(paths) == 0 {
+		paths = DefaultPaths
+	}
+	workers := cfg.Concurrency
+	if workers <= 0 {
+		workers = 8
+	}
+	dur := cfg.Duration
+	if dur <= 0 {
+		dur = 5 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, dur)
+	defer cancel()
+
+	type tally struct {
+		requests  int
+		status    map[int]int
+		transport int
+		latencies []time.Duration
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := &tallies[w]
+			t.status = make(map[int]int)
+			for i := 0; ctx.Err() == nil; i++ {
+				url := cfg.BaseURL + paths[(w+i)%len(paths)]
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+				if err != nil {
+					t.transport++
+					continue
+				}
+				t.requests++
+				reqStart := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						t.requests-- // cut off by end-of-run, not a real failure
+						return
+					}
+					t.transport++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				t.status[resp.StatusCode]++
+				t.latencies = append(t.latencies, time.Since(reqStart))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{Status: make(map[int]int), Elapsed: time.Since(start)}
+	for i := range tallies {
+		t := &tallies[i]
+		res.Requests += t.requests
+		res.TransportErrors += t.transport
+		for code, c := range t.status {
+			res.Status[code] += c
+		}
+		res.latencies = append(res.latencies, t.latencies...)
+	}
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	return res, nil
+}

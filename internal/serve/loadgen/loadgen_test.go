@@ -1,0 +1,61 @@
+package loadgen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
+	"repro/internal/telemetry"
+)
+
+func TestRunAgainstServe(t *testing.T) {
+	srv, err := serve.New(serve.Config{Telemetry: telemetry.New()})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if res.TransportErrors != 0 {
+		t.Fatalf("%d transport errors", res.TransportErrors)
+	}
+	if n := res.Count5xx(); n != 0 {
+		t.Fatalf("%d 5xx responses: %v", n, res.Status)
+	}
+	if res.Status[200] == 0 {
+		t.Fatalf("no 200s: %v", res.Status)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+	if res.Latency(99) <= 0 || res.Latency(50) > res.Latency(99) {
+		t.Fatalf("latency percentiles inconsistent: p50=%v p99=%v", res.Latency(50), res.Latency(99))
+	}
+	out := res.String()
+	for _, want := range []string{"requests", "status 200", "latency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary %q missing %q", out, want)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{}); err == nil {
+		t.Fatal("empty BaseURL accepted")
+	}
+}

@@ -1,0 +1,321 @@
+// Package serve is the long-running evaluation service over the
+// repository's energy-proportionality model: epserve exposes the M/D/1
+// tail-latency kernel, the Table 3 proportionality metrics and the
+// energy-deadline Pareto frontier as HTTP endpoints
+// (/v1/percentiles, /v1/epmetrics, /v1/frontier), plus health/readiness
+// probes, a Prometheus /metrics exposition and /debug/pprof.
+//
+// The service is built to stay up under overload: a bounded admission
+// semaphore sized off GOMAXPROCS with queue-depth load shedding
+// (429 + Retry-After), per-request deadlines propagated through
+// context.Context into the queueing kernel and the sweep worker pool,
+// singleflight coalescing of identical in-flight requests layered on
+// the kernel's scale-invariant percentile cache, panic recovery that
+// converts handler panics into 500s without killing the process, and
+// graceful shutdown in which readiness flips before the listener
+// drains. See docs/API.md for the endpoint reference and
+// docs/METRICS.md for every metric the service emits.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hardware"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a Server. The zero value of every field selects
+// a production-safe default.
+type Config struct {
+	// Catalog is the node-type catalog served; nil uses the built-in
+	// A9/K10 (+A15/XeonE5) catalog.
+	Catalog *hardware.Catalog
+	// Workloads is the workload registry served; nil uses the six
+	// calibrated paper workloads over Catalog.
+	Workloads *workload.Registry
+	// Telemetry receives the service's instruments and backs /metrics;
+	// nil uses the process-global registry at construction time (which
+	// may itself be nil, disabling collection but not the service).
+	Telemetry *telemetry.Registry
+
+	// MaxInflight bounds concurrently executing model requests;
+	// 0 means 2*GOMAXPROCS (the endpoints are CPU-bound, so admitting
+	// far past the core count only grows tail latency).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for a slot before load shedding
+	// begins; 0 means 4*MaxInflight, negative means no waiting (shed as
+	// soon as every slot is busy).
+	MaxQueue int
+	// DefaultTimeout is the per-request deadline when the client does
+	// not pass ?timeout=; 0 means 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested ?timeout= values; 0 means 60s.
+	MaxTimeout time.Duration
+	// MaxFrontierConfigs caps the configuration-space size a single
+	// /v1/frontier request may ask to sweep; 0 means 131072.
+	MaxFrontierConfigs int
+	// Workers is the sweep worker-pool width for frontier requests;
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+// withDefaults returns cfg with every zero field resolved.
+func (c Config) withDefaults() (Config, error) {
+	if c.Catalog == nil {
+		c.Catalog = hardware.DefaultCatalog()
+	}
+	if c.Workloads == nil {
+		reg, err := workload.PaperRegistry(c.Catalog)
+		if err != nil {
+			return c, fmt.Errorf("serve: building workload registry: %w", err)
+		}
+		c.Workloads = reg
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.Global()
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxFrontierConfigs <= 0 {
+		c.MaxFrontierConfigs = 1 << 17
+	}
+	return c, nil
+}
+
+// Server is the epserve HTTP service. Construct with New, start with
+// Serve or ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg      Config
+	ins      instruments
+	lim      *limiter
+	flights  flightGroup
+	analyses analysisCache
+	mux      *http.ServeMux
+	hs       *http.Server
+	ready    atomic.Bool
+}
+
+// New builds a Server from cfg (see Config for defaults).
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, ins: newInstruments(cfg.Telemetry)}
+	s.lim = newLimiter(cfg.MaxInflight, cfg.MaxQueue, &s.ins)
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/percentiles", s.api("percentiles", s.handlePercentiles))
+	mux.Handle("/v1/epmetrics", s.api("epmetrics", s.handleEpmetrics))
+	mux.Handle("/v1/frontier", s.api("frontier", s.handleFrontier))
+	mux.Handle("/v1/healthz", s.probe("healthz", s.handleHealthz))
+	mux.Handle("/v1/readyz", s.probe("readyz", s.handleReadyz))
+	mux.Handle("/metrics", s.probe("metrics", cfg.Telemetry.PrometheusHandler().ServeHTTP))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.handleIndex)
+	s.mux = mux
+
+	s.hs = &http.Server{
+		Handler: mux,
+		// Bound header read time (slowloris) but leave the body/write
+		// budget to the per-request deadline middleware, which knows the
+		// real limit.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	return s, nil
+}
+
+// Handler returns the service's root handler — useful for tests and for
+// mounting the service under an outer mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ready reports whether the service is accepting work (true between
+// Serve and Shutdown).
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Serve marks the service ready and serves connections on ln until
+// Shutdown. It returns nil after a clean Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.ready.Store(true)
+	err := s.hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and calls Serve. It returns the bound
+// listener address on the ready channel if addrCh is non-nil (useful
+// with ":0" addresses), then blocks like Serve.
+func (s *Server) ListenAndServe(addr string, addrCh chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if addrCh != nil {
+		addrCh <- ln.Addr()
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains the service: readiness flips to false first (so
+// load balancers watching /v1/readyz stop routing new work), then the
+// listener closes and in-flight requests run to completion, bounded by
+// ctx. It is the SIGTERM path of cmd/epserve.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	return s.hs.Shutdown(ctx)
+}
+
+// api assembles the middleware chain of a model endpoint, outermost
+// first: per-route telemetry (so even shed requests are counted and
+// timed), panic recovery, the per-request deadline, then admission.
+func (s *Server) api(route string, h http.HandlerFunc) http.Handler {
+	inner := s.deadline(s.admission(h))
+	return s.cfg.Telemetry.HTTPMiddleware(route, s.recovery(inner))
+}
+
+// probe assembles the chain of a health/metrics endpoint: telemetry and
+// panic recovery only — probes must keep answering under overload and
+// during drain, so they bypass admission and deadlines.
+func (s *Server) probe(route string, h http.HandlerFunc) http.Handler {
+	return s.cfg.Telemetry.HTTPMiddleware(route, s.recovery(h))
+}
+
+// recovery converts a handler panic into a 500 response and counts it,
+// keeping the process (and the other in-flight requests) alive. The
+// net/http server would otherwise kill the connection with no response;
+// a panicking kernel bug must degrade one request, not the service.
+func (s *Server) recovery(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.ins.panics.Inc()
+				writeError(w, http.StatusInternalServerError, "internal",
+					fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next(w, r)
+	}
+}
+
+// deadline attaches the per-request deadline to the request context:
+// the client's ?timeout= (clamped to MaxTimeout) or DefaultTimeout.
+// Handlers pass the context into the kernel and sweep pool, so the
+// deadline cancels percentile searches and frontier sweeps mid-flight.
+func (s *Server) deadline(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d := s.cfg.DefaultTimeout
+		if raw := r.URL.Query().Get("timeout"); raw != "" {
+			parsed, err := time.ParseDuration(raw)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad_request",
+					fmt.Sprintf("invalid timeout %q: %v", raw, err))
+				return
+			}
+			if parsed <= 0 {
+				writeError(w, http.StatusBadRequest, "bad_request",
+					"timeout must be positive")
+				return
+			}
+			d = min(parsed, s.cfg.MaxTimeout)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next(w, r.WithContext(ctx))
+	}
+}
+
+// admission applies the bounded semaphore: shed with 429 + Retry-After
+// when the queue is full, 504 when the deadline expires while queued.
+func (s *Server) admission(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := s.lim.acquire(r.Context()); err != nil {
+			if errors.Is(err, errShed) {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "overloaded",
+					"admission queue full, retry later")
+				return
+			}
+			s.deadlineError(w, err)
+			return
+		}
+		defer s.lim.release()
+		next(w, r)
+	}
+}
+
+// deadlineError maps a context error to the 504 response and counter.
+func (s *Server) deadlineError(w http.ResponseWriter, err error) {
+	s.ins.deadlineExceeded.Inc()
+	msg := "request deadline exceeded"
+	if errors.Is(err, context.Canceled) {
+		msg = "request cancelled"
+	}
+	writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", msg)
+}
+
+// handleIndex serves a JSON endpoint listing at "/" and a JSON 404
+// elsewhere, so probes against wrong paths fail loudly and uniformly.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no such endpoint %q", r.URL.Path))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"service": "epserve",
+		"endpoints": []string{
+			"/v1/percentiles", "/v1/epmetrics", "/v1/frontier",
+			"/v1/healthz", "/v1/readyz", "/metrics", "/debug/pprof/",
+		},
+	})
+}
+
+// errorBody is the uniform error envelope of every non-2xx response.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError writes the JSON error envelope {"error":{code,message}}.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]errorBody{"error": {Code: code, Message: msg}})
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // header already sent; client gone
+}

@@ -1,0 +1,539 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// newTestServer builds a Server with its own registry and an httptest
+// frontend over its full handler.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New()
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv.ready.Store(true)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, path string
+		status     int
+		contains   string
+	}{
+		{"percentiles raw", "/v1/percentiles?d=1&u=0.9", 200, `"mean_wait_seconds": 4.5`},
+		{"percentiles model", "/v1/percentiles?workload=EP&mix=32xA9,12xK10&u=0.5&p=95", 200, `"percentiles"`},
+		{"percentiles default ps", "/v1/percentiles?d=0.5&u=0", 200, `"p": 99`},
+		{"percentiles missing u", "/v1/percentiles?d=1", 400, "missing u="},
+		{"percentiles bad u", "/v1/percentiles?d=1&u=1.5", 400, "outside [0, 1)"},
+		{"percentiles unstable", "/v1/percentiles?d=-2&u=0.9", 400, "positive"},
+		{"percentiles both modes", "/v1/percentiles?d=1&mix=32xA9&u=0.5", 400, "not both"},
+		{"percentiles bad p", "/v1/percentiles?d=1&u=0.5&p=abc", 400, "invalid percentile"},
+		{"percentiles unknown workload", "/v1/percentiles?workload=nope&mix=32xA9&u=0.5", 404, "nope"},
+		{"epmetrics", "/v1/epmetrics?workload=EP&mix=32xA9,12xK10", 200, `"dpr"`},
+		{"epmetrics with ref", "/v1/epmetrics?workload=EP&mix=16xA9,2xK10&ref=32xA9,12xK10", 200, `"sublinear"`},
+		{"epmetrics missing mix", "/v1/epmetrics?workload=EP", 400, "missing mix="},
+		{"epmetrics bad mix", "/v1/epmetrics?mix=zzz", 400, "invalid mix"},
+		{"frontier", "/v1/frontier?workload=EP&max_a9=4&max_k10=2", 200, `"frontier"`},
+		{"frontier sweet region", "/v1/frontier?workload=EP&max_a9=4&max_k10=2&deadline=10", 200, `"recommended"`},
+		{"frontier too large", "/v1/frontier?max_a9=100000&max_k10=100000", 400, "exceeds the per-request cap"},
+		{"frontier bad int", "/v1/frontier?max_a9=-3", 400, "non-negative"},
+		{"healthz", "/v1/healthz", 200, `"ok"`},
+		{"readyz", "/v1/readyz", 200, `"ready"`},
+		{"index", "/", 200, "epserve"},
+		{"unknown path", "/v2/nope", 404, "no such endpoint"},
+		{"bad timeout", "/v1/percentiles?d=1&u=0.5&timeout=zzz", 400, "invalid timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := get(t, ts.URL+tc.path)
+			if status != tc.status {
+				t.Fatalf("GET %s: status %d, want %d (body %s)", tc.path, status, tc.status, body)
+			}
+			if !strings.Contains(body, tc.contains) {
+				t.Fatalf("GET %s: body %q does not contain %q", tc.path, body, tc.contains)
+			}
+		})
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/percentiles?d=1&u=0.5", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Fatalf("Allow header %q, want GET", allow)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	get(t, ts.URL+"/v1/percentiles?d=1&u=0.9")
+	status, body := get(t, ts.URL+"/metrics")
+	if status != 200 {
+		t.Fatalf("/metrics status %d", status)
+	}
+	for _, want := range []string{
+		"serve_admitted 1",
+		"http_percentiles_requests 1",
+		"http_percentiles_status_2xx 1",
+		"# TYPE http_percentiles_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// blockingChain mounts a handler that parks until release closes behind
+// the full api middleware chain, sharing srv's limiter and registry.
+func blockingChain(srv *Server) (http.Handler, chan struct{}, chan struct{}) {
+	entered := make(chan struct{}, 64)
+	release := make(chan struct{})
+	h := srv.api("block", func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		select {
+		case <-release:
+			w.WriteHeader(http.StatusOK)
+		case <-r.Context().Done():
+			writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", "handler saw deadline")
+		}
+	})
+	return h, entered, release
+}
+
+// TestOverloadSheds saturates a 1-slot/1-queue server and asserts that
+// excess requests shed with 429 + Retry-After while admitted requests
+// complete, and that no goroutines leak.
+func TestOverloadSheds(t *testing.T) {
+	before := runtime.NumGoroutine()
+	reg := telemetry.New()
+	srv, err := New(Config{Telemetry: reg, MaxInflight: 1, MaxQueue: 1, DefaultTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h, entered, release := blockingChain(srv)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	type outcome struct {
+		status     int
+		retryAfter string
+		body       string
+	}
+	results := make(chan outcome, 8)
+	fire := func() {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			results <- outcome{status: -1, body: err.Error()}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		results <- outcome{resp.StatusCode, resp.Header.Get("Retry-After"), string(body)}
+	}
+
+	go fire() // holds the slot
+	<-entered
+	go fire() // waits in the queue
+	waitCounter(t, srv.ins.queueWaits, 1)
+
+	const extra = 4
+	for i := 0; i < extra; i++ {
+		go fire() // queue full: shed
+	}
+	var sheds []outcome
+	for i := 0; i < extra; i++ {
+		sheds = append(sheds, <-results)
+	}
+	for _, o := range sheds {
+		if o.status != http.StatusTooManyRequests {
+			t.Fatalf("overflow request: status %d body %s, want 429", o.status, o.body)
+		}
+		if o.retryAfter != "1" {
+			t.Fatalf("429 Retry-After = %q, want \"1\"", o.retryAfter)
+		}
+		if !strings.Contains(o.body, "overloaded") {
+			t.Fatalf("429 body %q missing code \"overloaded\"", o.body)
+		}
+	}
+	if got := srv.ins.shed.Value(); got != extra {
+		t.Fatalf("serve.shed = %d, want %d", got, extra)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if o := <-results; o.status != http.StatusOK {
+			t.Fatalf("admitted request: status %d body %s, want 200", o.status, o.body)
+		}
+	}
+	if got := srv.ins.admitted.Value(); got != 2 {
+		t.Fatalf("serve.admitted = %d, want 2", got)
+	}
+	checkGoroutines(t, before)
+}
+
+// TestDeadlineWhileQueued parks one request on the only slot and
+// asserts a queued request with a short deadline gets 504.
+func TestDeadlineWhileQueued(t *testing.T) {
+	srv, err := New(Config{Telemetry: telemetry.New(), MaxInflight: 1, MaxQueue: 4, DefaultTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h, entered, release := blockingChain(srv)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	defer close(release) // LIFO: unblock the parked handler before ts.Close waits on it
+
+	go http.Get(ts.URL) //nolint:errcheck // released at test end
+	<-entered
+
+	status, body := get(t, ts.URL+"/?timeout=50ms")
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("queued request: status %d body %s, want 504", status, body)
+	}
+	if !strings.Contains(body, "deadline_exceeded") {
+		t.Fatalf("504 body %q missing code \"deadline_exceeded\"", body)
+	}
+	if got := srv.ins.deadlineExceeded.Value(); got != 1 {
+		t.Fatalf("serve.deadline_exceeded = %d, want 1", got)
+	}
+}
+
+// TestDeadlineCancelsCompute asserts a deadline that expires during the
+// percentile computation surfaces as 504, not a hang.
+func TestDeadlineCancelsCompute(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxTimeout: time.Minute})
+	// p extremely close to 100 at high rho is the slowest search; 1ns
+	// expires before the first context check.
+	status, body := get(t, ts.URL+"/v1/percentiles?d=1&u=0.99&p=99.9999&timeout=1ns")
+	if status != http.StatusBadRequest && status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d body %s, want 504 (or 400 for sub-ms floor)", status, body)
+	}
+	if status == http.StatusGatewayTimeout && !strings.Contains(body, "deadline_exceeded") {
+		t.Fatalf("504 body %q missing deadline_exceeded", body)
+	}
+}
+
+// TestGracefulShutdown drives the real listener: readiness flips before
+// the drain finishes, the in-flight request completes, and new
+// connections are refused after drain.
+func TestGracefulShutdown(t *testing.T) {
+	srv, err := New(Config{Telemetry: telemetry.New(), MaxInflight: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h, entered, release := blockingChain(srv)
+	srv.mux.Handle("/test/block", h)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	waitFor(t, "server ready", func() bool { return srv.Ready() })
+	if status, body := get(t, base+"/v1/readyz"); status != 200 {
+		t.Fatalf("readyz before shutdown: %d %s", status, body)
+	}
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/test/block")
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	<-entered
+
+	shutdownErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownErr <- srv.Shutdown(ctx) }()
+
+	// Readiness flips immediately, while the in-flight request still runs.
+	waitFor(t, "readiness flipped", func() bool { return !srv.Ready() })
+	select {
+	case status := <-inflight:
+		t.Fatalf("in-flight request finished (%d) before release; drain did not wait", status)
+	default:
+	}
+
+	close(release)
+	if status := <-inflight; status != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d, want 200", status)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v after clean shutdown, want nil", err)
+	}
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		t.Fatal("request after drain succeeded, want connection refused")
+	}
+}
+
+func TestReadyzDraining(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	srv.ready.Store(false)
+	status, body := get(t, ts.URL+"/v1/readyz")
+	if status != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("draining readyz: %d %s, want 503 draining", status, body)
+	}
+	if status, _ := get(t, ts.URL+"/v1/healthz"); status != 200 {
+		t.Fatalf("healthz during drain: %d, want 200 (liveness is not readiness)", status)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	srv, err := New(Config{Telemetry: telemetry.New()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h := srv.api("boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	status, body := get(t, ts.URL)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", status)
+	}
+	if !strings.Contains(body, "internal") {
+		t.Fatalf("500 body %q missing code \"internal\"", body)
+	}
+	if got := srv.ins.panics.Value(); got != 1 {
+		t.Fatalf("serve.panics = %d, want 1", got)
+	}
+	// The server must keep serving after a panic.
+	if status, _ := get(t, ts.URL); status != http.StatusInternalServerError {
+		t.Fatalf("second request after panic: status %d, want another 500", status)
+	}
+}
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var calls int
+
+	type res struct {
+		v      any
+		shared bool
+		err    error
+	}
+	results := make(chan res, 4)
+	go func() {
+		v, shared, err := g.do(context.Background(), "k", func() (any, error) {
+			close(leaderIn)
+			<-release
+			calls++
+			return 42, nil
+		})
+		results <- res{v, shared, err}
+	}()
+	<-leaderIn
+	const followers = 3
+	for i := 0; i < followers; i++ {
+		go func() {
+			v, shared, err := g.do(context.Background(), "k", func() (any, error) {
+				calls++
+				return -1, nil
+			})
+			results <- res{v, shared, err}
+		}()
+	}
+	// Followers must be registered before the leader finishes.
+	waitFor(t, "followers parked", func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.m["k"] != nil
+	})
+	time.Sleep(10 * time.Millisecond) // let followers reach the select
+	close(release)
+
+	shared := 0
+	for i := 0; i < followers+1; i++ {
+		r := <-results
+		if r.err != nil || r.v != 42 {
+			t.Fatalf("flight result = (%v, %v), want (42, nil)", r.v, r.err)
+		}
+		if r.shared {
+			shared++
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if shared != followers {
+		t.Fatalf("%d shared results, want %d", shared, followers)
+	}
+
+	// A follower with an expired context must not hang.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	release2 := make(chan struct{})
+	go g.do(context.Background(), "k2", func() (any, error) { <-release2; return nil, nil }) //nolint:errcheck
+	waitFor(t, "second leader in flight", func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.m["k2"] != nil
+	})
+	if _, _, err := g.do(ctx, "k2", func() (any, error) { return nil, nil }); err != context.Canceled {
+		t.Fatalf("cancelled follower err = %v, want context.Canceled", err)
+	}
+	close(release2)
+}
+
+// TestServeRaceHammer drives the full serve path from many goroutines;
+// run under -race it is the regression test for the percentile-cache
+// counter race and any handler-state races.
+func TestServeRaceHammer(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	paths := []string{
+		"/v1/percentiles?d=1&u=0.9",
+		"/v1/percentiles?d=1&u=0.9", // repeat: exercise cache hits and coalescing
+		"/v1/percentiles?d=0.004&u=0.9&p=50,95,99,99.9",
+		"/v1/percentiles?workload=EP&mix=32xA9,12xK10&u=0.5",
+		"/v1/epmetrics?workload=EP&mix=32xA9,12xK10",
+		"/v1/readyz",
+		"/metrics",
+	}
+	const workers = 16
+	perWorker := 12
+	if testing.Short() {
+		perWorker = 4
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				url := ts.URL + paths[(w+i)%len(paths)]
+				resp, err := http.Get(url)
+				if err != nil {
+					errCh <- err
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode >= 500 {
+					errCh <- fmt.Errorf("%s: status %d", url, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("hammer: %v", err)
+	}
+}
+
+// TestPercentilesJSONShape pins the response schema documented in
+// docs/API.md.
+func TestPercentilesJSONShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, body := get(t, ts.URL+"/v1/percentiles?d=2&u=0.5&p=95")
+	var resp PercentilesResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if resp.Utilization != 0.5 || resp.ServiceTimeSeconds != 2 {
+		t.Fatalf("echo fields wrong: %+v", resp)
+	}
+	if resp.ArrivalRatePerSecond != 0.25 {
+		t.Fatalf("arrival rate = %g, want rho/D = 0.25", resp.ArrivalRatePerSecond)
+	}
+	if len(resp.Percentiles) != 1 || resp.Percentiles[0].P != 95 {
+		t.Fatalf("percentiles = %+v, want one entry at p95", resp.Percentiles)
+	}
+	if got, want := resp.Percentiles[0].ResponseSeconds, resp.Percentiles[0].WaitSeconds+2; got != want {
+		t.Fatalf("response = wait + D violated: %g != %g", got, want)
+	}
+}
+
+// waitCounter polls a counter until it reaches want.
+func waitCounter(t *testing.T, c *telemetry.Counter, want uint64) {
+	t.Helper()
+	waitFor(t, fmt.Sprintf("counter to reach %d", want), func() bool { return c.Value() >= want })
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// checkGoroutines asserts the goroutine count returns near its starting
+// point — queued-and-shed requests must not leave waiters behind.
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var now int
+	for time.Now().Before(deadline) {
+		http.DefaultClient.CloseIdleConnections()
+		now = runtime.NumGoroutine()
+		if now <= before+3 { // runtime helpers allow a little slack
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before, %d after", before, now)
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightCall is one in-flight computation; done closes when val/err are
+// settled.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// flightGroup coalesces concurrent identical requests: the first caller
+// for a key runs fn, later callers for the same key block until the
+// leader finishes and share its result. This sits one layer above the
+// queueing package's per-(rho, p) percentile cache — it dedupes whole
+// requests (model evaluation plus percentile batch plus frontier
+// sweeps), so a thundering herd on one hot query costs one computation
+// and one admission slot per herd, not per request.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// do runs fn under key, coalescing with an identical in-flight call.
+// The second return is true when the result came from another caller's
+// computation. A follower whose ctx expires while waiting gets the ctx
+// error; the leader's own computation keeps the leader's lifetime (its
+// deadline, not the followers', bounds the shared work).
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

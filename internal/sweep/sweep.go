@@ -10,6 +10,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -26,8 +27,18 @@ const DefaultBlock = 256
 // goroutine, so small sweeps pay no synchronization at all. Blocks
 // returns after every block has completed.
 func Blocks(n, workers, block int, fn func(worker, lo, hi int)) {
+	BlocksContext(context.Background(), n, workers, block, fn) //nolint:errcheck // Background never cancels
+}
+
+// BlocksContext is Blocks with cancellation: once ctx is done no further
+// block is dispatched (blocks already handed to a worker run to
+// completion — fn sees at most one more call per worker) and the ctx
+// error is returned after every started block has finished. It returns
+// nil when all n items were processed. Long-running fn bodies that want
+// finer-grained cancellation should check ctx themselves.
+func BlocksContext(ctx context.Context, n, workers, block int, fn func(worker, lo, hi int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if block <= 0 {
 		block = DefaultBlock
@@ -39,15 +50,21 @@ func Blocks(n, workers, block int, fn func(worker, lo, hi int)) {
 	if workers > nblocks {
 		workers = nblocks
 	}
+	done := ctx.Done()
 	if workers == 1 {
 		for lo := 0; lo < n; lo += block {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			hi := lo + block
 			if hi > n {
 				hi = n
 			}
 			fn(0, lo, hi)
 		}
-		return
+		return nil
 	}
 
 	var wg sync.WaitGroup
@@ -62,15 +79,23 @@ func Blocks(n, workers, block int, fn func(worker, lo, hi int)) {
 			}
 		}()
 	}
+	var err error
+dispatch:
 	for lo := 0; lo < n; lo += block {
 		hi := lo + block
 		if hi > n {
 			hi = n
 		}
-		next <- [2]int{lo, hi}
+		select {
+		case next <- [2]int{lo, hi}:
+		case <-done:
+			err = ctx.Err()
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return err
 }
 
 // ForEach runs fn(i) for every i in [0, n) across the pool, one item per
@@ -79,6 +104,18 @@ func Blocks(n, workers, block int, fn func(worker, lo, hi int)) {
 // only hurt load balance.
 func ForEach(n, workers int, fn func(i int)) {
 	Blocks(n, workers, 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForEachContext is ForEach with cancellation, with the same semantics
+// as BlocksContext: items already dispatched complete, no new items
+// start once ctx is done, and the ctx error is returned if the sweep
+// stopped early.
+func ForEachContext(ctx context.Context, n, workers int, fn func(i int)) error {
+	return BlocksContext(ctx, n, workers, 1, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)
 		}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("alpha.total").Add(3)
+	r.Gauge("beta.depth").Set(2.5)
+	h := r.Histogram("gamma.seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE alpha_total counter\nalpha_total 3\n",
+		"# TYPE beta_depth gauge\nbeta_depth 2.5\n",
+		"# TYPE gamma_seconds histogram",
+		`gamma_seconds_bucket{le="1"} 1`,
+		`gamma_seconds_bucket{le="10"} 2`,
+		`gamma_seconds_bucket{le="+Inf"} 3`,
+		"gamma_seconds_sum 55.5",
+		"gamma_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name: alpha before beta before gamma.
+	if a, g := strings.Index(out, "alpha_total"), strings.Index(out, "gamma_seconds"); a > g {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("nil registry: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", b.String())
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	r := New()
+	r.Counter("x.y").Inc()
+	rec := httptest.NewRecorder()
+	r.PrometheusHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_y 1") {
+		t.Fatalf("body missing x_y 1:\n%s", rec.Body.String())
+	}
+}
+
+func TestHTTPMiddleware(t *testing.T) {
+	r := New()
+	h := r.HTTPMiddleware("demo", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/fail" {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte("ok")) //nolint:errcheck
+	}))
+	for _, path := range []string{"/", "/", "/fail"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	}
+	if got := r.Counter("http.demo.requests").Value(); got != 3 {
+		t.Fatalf("requests = %d, want 3", got)
+	}
+	if got := r.Counter("http.demo.status_2xx").Value(); got != 2 {
+		t.Fatalf("status_2xx = %d, want 2", got)
+	}
+	if got := r.Counter("http.demo.status_4xx").Value(); got != 1 {
+		t.Fatalf("status_4xx = %d, want 1", got)
+	}
+	if got := r.Histogram("http.demo.seconds", httpLatencyBounds).Count(); got != 3 {
+		t.Fatalf("latency observations = %d, want 3", got)
+	}
+}
+
+func TestHTTPMiddlewareNilRegistry(t *testing.T) {
+	var r *Registry
+	h := r.HTTPMiddleware("demo", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("nil-registry middleware altered response: %d", rec.Code)
+	}
+}

@@ -1,0 +1,34 @@
+// Command fetch is a minimal curl substitute for scripts/serve_smoke.sh
+// on machines without curl: it GETs one URL and copies the body to
+// stdout, exiting non-zero on any non-2xx status.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: fetch URL")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fetch:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "fetch:", err)
+		os.Exit(1)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		fmt.Fprintln(os.Stderr, "fetch: status", resp.Status)
+		os.Exit(1)
+	}
+}

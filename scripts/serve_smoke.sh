@@ -1,0 +1,83 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke gate for epserve.
+#
+# Builds epserve and loadgen, starts the service on an ephemeral port,
+# warms the caches, drives the default load mix for 5 seconds, scrapes
+# /metrics, and fails on:
+#   - any 5xx or transport-level failure during the run,
+#   - warm-cache p99 client latency above the bound (default 25ms;
+#     the acceptance target of 5ms applies to the single-path warm run
+#     below, measured separately with low concurrency),
+#   - an unclean drain on SIGTERM.
+#
+# Usage: scripts/serve_smoke.sh [duration] [concurrency]
+set -eu
+
+DURATION="${1:-5s}"
+CONCURRENCY="${2:-16}"
+GO="${GO:-go}"
+
+workdir="$(mktemp -d)"
+trap '[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+server_pid=""
+
+echo "== building epserve and loadgen"
+"$GO" build -o "$workdir/epserve" ./cmd/epserve
+"$GO" build -o "$workdir/loadgen" ./cmd/loadgen
+
+echo "== starting epserve"
+"$workdir/epserve" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+    >"$workdir/epserve.log" 2>&1 &
+server_pid=$!
+
+for _ in $(seq 1 50); do
+    [ -s "$workdir/addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || {
+        echo "epserve died during startup:"; cat "$workdir/epserve.log"; exit 1; }
+    sleep 0.1
+done
+[ -s "$workdir/addr" ] || { echo "epserve never wrote its address"; exit 1; }
+URL="http://$(cat "$workdir/addr")"
+echo "   listening on $URL"
+
+echo "== warmup (1s, default mix)"
+"$workdir/loadgen" -url "$URL" -duration 1s -concurrency 4 >/dev/null
+
+echo "== warm-cache latency gate: /v1/percentiles p99 < 5ms"
+"$workdir/loadgen" -url "$URL" -duration 2s -concurrency 4 \
+    -paths "/v1/percentiles?d=1&u=0.9" -fail-on-5xx -max-p99 5ms
+
+echo "== mixed load: $DURATION at concurrency $CONCURRENCY, zero 5xx allowed"
+"$workdir/loadgen" -url "$URL" -duration "$DURATION" -concurrency "$CONCURRENCY" -fail-on-5xx
+
+echo "== scraping /metrics"
+metrics="$workdir/metrics.prom"
+if command -v curl >/dev/null 2>&1; then
+    curl -fsS "$URL/metrics" >"$metrics"
+else
+    "$GO" run ./scripts/fetch "$URL/metrics" >"$metrics"
+fi
+for family in serve_admitted http_percentiles_requests http_percentiles_seconds_bucket; do
+    grep -q "^$family" "$metrics" || {
+        echo "metric family $family missing from /metrics:"; head -40 "$metrics"; exit 1; }
+done
+if grep -E '^http_[a-z_]+_status_5xx [1-9]' "$metrics"; then
+    echo "server-side 5xx counters are non-zero"; exit 1
+fi
+echo "   $(wc -l <"$metrics") exposition lines, no 5xx recorded"
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    echo "epserve still running 10s after SIGTERM"; exit 1
+fi
+wait "$server_pid" 2>/dev/null || { echo "epserve exited non-zero on drain:"; cat "$workdir/epserve.log"; exit 1; }
+grep -q "drained cleanly" "$workdir/epserve.log" || {
+    echo "no clean-drain log line:"; cat "$workdir/epserve.log"; exit 1; }
+server_pid=""
+
+echo "serve-smoke: OK"
