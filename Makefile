@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race vet check serve-smoke bench bench-queueing reproduce examples fuzz clean
+.PHONY: all build test test-race race vet check ci serve-smoke bench bench-queueing reproduce examples fuzz fuzz-smoke golden clean
 
 all: build vet test
 
@@ -42,6 +42,22 @@ test-race:
 race: test-race
 	$(GO) test -race -run TestPercentileCacheConcurrent -count 2 ./internal/queueing/
 	$(GO) test -race -run TestServeRaceHammer -count 2 ./internal/serve/
+	$(GO) test -race -count 2 ./internal/replay/
+
+# ci is the full gate the workflow runs: formatting, vet, tier-1
+# build+test, targeted race runs over the concurrency-heavy packages
+# (queueing percentile cache, serve streaming, replay fan-out), the
+# epserve end-to-end smoke, and a short fuzz smoke over the parser and
+# kernel differential targets.
+ci:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/queueing/ ./internal/serve/ ./internal/replay/
+	$(MAKE) serve-smoke
+	$(MAKE) fuzz-smoke
 
 # One benchmark iteration per experiment: regenerates every table/figure
 # metric quickly. Drop -benchtime for full statistical runs. Output also
@@ -70,8 +86,25 @@ examples:
 	$(GO) run ./examples/adaptive
 	$(GO) run ./examples/diurnal
 
+# fuzz runs each target for 30s; fuzz-smoke is the CI variant, a few
+# seconds per target — enough to replay the corpus and catch gross
+# regressions without stalling the gate.
+FUZZTIME ?= 30s
+
 fuzz:
-	$(GO) test ./internal/cli/ -fuzz FuzzParseMix -fuzztime 30s
+	$(GO) test -run '^$$' ./internal/cli/ -fuzz FuzzParseMix -fuzztime $(FUZZTIME)
+	$(GO) test -run '^$$' ./internal/replay/ -fuzz FuzzParseCSV -fuzztime $(FUZZTIME)
+	$(GO) test -run '^$$' ./internal/replay/ -fuzz FuzzParseJSON -fuzztime $(FUZZTIME)
+	$(GO) test -run '^$$' ./internal/queueing/ -fuzz FuzzPercentileCacheDifferential -fuzztime $(FUZZTIME)
+
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=5s
+
+# golden regenerates the testdata/ golden files (Table 7, Table 8, the
+# Pareto sub-linearity classification). Review the diff before
+# committing: any change is a behavioural change of the pipeline.
+golden:
+	$(GO) test -run TestGolden -update .
 
 clean:
 	rm -rf results bench.out bench_queueing.out

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/replay"
+)
+
+func baseOptions() options {
+	return options{
+		workload:    "EP",
+		budget:      true,
+		shape:       "diurnal",
+		mean:        0.35,
+		amplitude:   0.3,
+		duration:    24 * time.Hour,
+		step:        30 * time.Minute,
+		sloPct:      95,
+		percentiles: "95,99",
+		hysteresis:  0.05,
+		format:      "text",
+	}
+}
+
+func TestRunTextBudgetDiurnal(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), baseOptions(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"static over 5 candidates", "total energy", "p95 response"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONAdaptiveMixes(t *testing.T) {
+	o := baseOptions()
+	o.budget = false
+	o.mixes = "32xA9,12xK10; 25xA9,5xK10"
+	o.adaptive = true
+	o.slo = 500 * time.Millisecond
+	o.format = "json"
+	var sb strings.Builder
+	if err := run(context.Background(), o, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var res replay.Result
+	if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+		t.Fatalf("output is not a Result: %v", err)
+	}
+	if !res.Summary.Adaptive || res.Summary.Steps != 48 {
+		t.Fatalf("summary = %+v", res.Summary)
+	}
+	if len(res.Steps) != 48 {
+		t.Fatalf("steps = %d, want 48", len(res.Steps))
+	}
+	if len(res.Summary.Candidates) != 2 {
+		t.Fatalf("candidates = %v", res.Summary.Candidates)
+	}
+}
+
+func TestRunCSVFromTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	if err := os.WriteFile(path, []byte("t,load\n0,0.2\n300,0.4\n600,0.6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOptions()
+	o.tracePath = path
+	o.format = "csv"
+	var sb strings.Builder
+	if err := run(context.Background(), o, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + 3 rows, got %d lines:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "t,dt,load,chosen,config,") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if n := strings.Count(line, ","); n < 10 {
+			t.Fatalf("row %q has %d commas", line, n)
+		}
+	}
+}
+
+func TestRunJSONTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	body := `{"name":"mini","points":[{"t":0,"load":0.2},{"t":300,"load":0.5}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOptions()
+	o.tracePath = path
+	var sb strings.Builder
+	if err := run(context.Background(), o, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "replay: mini") {
+		t.Fatalf("trace name not reported:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*options)
+		want   string
+	}{
+		{"no candidates", func(o *options) { o.budget = false }, "-budget or -mixes"},
+		{"bad mix", func(o *options) { o.budget = false; o.mixes = "wat" }, ""},
+		{"bad shape", func(o *options) { o.shape = "square" }, "unknown shape"},
+		{"bad format", func(o *options) { o.format = "yaml" }, "unknown format"},
+		{"bad percentiles", func(o *options) { o.percentiles = "ninety" }, "bad percentile"},
+		{"empty percentiles", func(o *options) { o.percentiles = "," }, "no percentiles"},
+		{"bad workload", func(o *options) { o.workload = "nope" }, ""},
+		{"bad levels", func(o *options) { o.shape = "steps"; o.levels = "0.1,x" }, "bad level"},
+		{"zero step", func(o *options) { o.step = 0 }, "must be positive"},
+		{"missing trace file", func(o *options) { o.tracePath = "/does/not/exist.csv" }, ""},
+		{"bad trace ext", func(o *options) { o.tracePath = "/tmp/trace.xml" }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := baseOptions()
+			tc.mutate(&o)
+			err := run(context.Background(), o, &strings.Builder{})
+			if err == nil {
+				t.Fatal("run succeeded")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunRejectsNonMonotonicTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(path, []byte("0,0.2\n600,0.4\n300,0.6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOptions()
+	o.tracePath = path
+	err := run(context.Background(), o, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "non-monotonic") {
+		t.Fatalf("err = %v, want non-monotonic rejection", err)
+	}
+}

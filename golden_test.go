@@ -1,0 +1,120 @@
+package repro_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// golden_test.go pins the rendered paper artifacts (Table 7, Table 8,
+// and the Figure 9/10 Pareto sub-linearity classification) to files in
+// testdata/. The analytical pipeline is fully deterministic, so any
+// diff here is a real behavioural change, not noise. Regenerate with
+//
+//	go test -run TestGolden -update ./...
+//
+// and review the diff like any other code change. The seeded Table 4
+// simulator comparison is deliberately excluded: its whole point is
+// model-versus-simulation error, which its own statistical tests bound.
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenSuite builds the default paper suite once for all golden tests.
+var goldenSuite = sync.OnceValues(analysis.NewSuite)
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file instead when -update is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Point at the first differing line to keep failures readable.
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "<missing>", "<missing>"
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s line %d differs:\n got: %q\nwant: %q\n(re-run with -update to accept)",
+				path, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s differs (line split hides it; re-run with -update to accept)", path)
+}
+
+func TestGoldenTable7(t *testing.T) {
+	s, err := goldenSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := analysis.RenderMetricsRows(&buf, "Table 7: single-node proportionality metrics", rows); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table7", buf.String())
+}
+
+func TestGoldenTable8(t *testing.T) {
+	s, err := goldenSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := analysis.RenderMetricsRows(&buf, "Table 8: 1 kW ladder proportionality metrics", rows); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table8", buf.String())
+}
+
+func TestGoldenParetoSublinear(t *testing.T) {
+	s, err := goldenSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := s.FigurePareto("EP", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "workload=%s reference=%s sublinear=%d/%d\n",
+		fig.Workload, fig.Reference.String(), fig.SublinearCount(), len(fig.Frontier))
+	for i, pt := range fig.Frontier {
+		fmt.Fprintf(&buf, "%-16s time=%.6g s energy=%.6g J sublinear=%v\n",
+			pt.Config.String(), float64(pt.Time), float64(pt.Energy), fig.Sublinear[i])
+	}
+	checkGolden(t, "pareto_ep", buf.String())
+}

@@ -1,0 +1,111 @@
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/energyprop"
+)
+
+// Stepper carries the planner's switching state across successive load
+// points. Plan answers "which configuration serves each load on a static
+// grid"; a trace replay instead feeds loads one at a time, in trace
+// order, and the hysteresis comparison must be against the configuration
+// actually running from the previous step — state Plan's grid-local pass
+// cannot provide. The replay engine (internal/replay) drives one Stepper
+// per run.
+//
+// A Stepper is not safe for concurrent use: steps are inherently
+// ordered (each decision depends on the previous one).
+type Stepper struct {
+	candidates []*energyprop.Analysis
+	policy     Policy
+	ref        int
+	refRate    float64
+	prev       int
+	switches   int
+	suppressed int
+}
+
+// NewStepper validates the candidates (same rules as Plan) and returns a
+// stepper positioned before the first step: the first Step call never
+// counts a switch.
+func NewStepper(candidates []*energyprop.Analysis, policy Policy) (*Stepper, error) {
+	if len(candidates) == 0 {
+		return nil, errors.New("adaptive: no candidates")
+	}
+	ref := 0
+	for i, c := range candidates {
+		if c.Result.Time <= 0 {
+			return nil, fmt.Errorf("adaptive: candidate %d has no service time", i)
+		}
+		if c.Result.Time < candidates[ref].Result.Time {
+			ref = i
+		}
+	}
+	return &Stepper{
+		candidates: candidates,
+		policy:     policy.withDefaults(),
+		ref:        ref,
+		refRate:    1 / float64(candidates[ref].Result.Time),
+		prev:       -1,
+	}, nil
+}
+
+// Reference returns the index of the reference (highest-throughput)
+// candidate, whose capacity defines load fraction 1.
+func (s *Stepper) Reference() int { return s.ref }
+
+// RefRate returns the reference candidate's saturation job rate
+// (jobs per second at utilization 1).
+func (s *Stepper) RefRate() float64 { return s.refRate }
+
+// Switches returns how many configuration changes the steps so far made.
+func (s *Stepper) Switches() int { return s.switches }
+
+// Suppressed returns how many would-be switches hysteresis held back.
+func (s *Stepper) Suppressed() int { return s.suppressed }
+
+// Step decides the configuration for one load fraction (of the reference
+// capacity, in [0, 1]) and advances the switching state. Chosen is -1
+// when no candidate is feasible under the policy; the previous choice is
+// retained for the next step's hysteresis comparison, mirroring Plan.
+func (s *Stepper) Step(load float64) (Decision, error) {
+	if load < 0 || load > 1 {
+		return Decision{}, fmt.Errorf("adaptive: load fraction %g outside [0,1]", load)
+	}
+	arrival := load * s.refRate
+	best, prevEval := -1, candEval{}
+	var bestEval candEval
+	for i, c := range s.candidates {
+		ev := evaluateCandidate(c, arrival, s.policy)
+		if i == s.prev {
+			prevEval = ev
+		}
+		if !ev.ok {
+			continue
+		}
+		if best == -1 || ev.power < bestEval.power {
+			best, bestEval = i, ev
+		}
+	}
+	// Hysteresis: stay with the running configuration unless the best
+	// alternative beats it by more than the threshold.
+	if s.policy.Hysteresis > 0 && s.prev >= 0 && best >= 0 && best != s.prev && prevEval.ok {
+		if bestEval.power > prevEval.power*(1-s.policy.Hysteresis) {
+			best, bestEval = s.prev, prevEval
+			s.suppressed++
+		}
+	}
+	d := Decision{LoadFrac: load, Arrival: arrival, Chosen: best}
+	if best >= 0 {
+		d.Utilization = bestEval.rho
+		d.Power = bestEval.power
+		d.Response = bestEval.resp
+		if s.prev >= 0 && s.prev != best {
+			s.switches++
+		}
+		s.prev = best
+	}
+	return d, nil
+}

@@ -74,6 +74,29 @@ func (f FlashCrowd) At(t float64) float64 {
 // Name implements Shape.
 func (f FlashCrowd) Name() string { return fmt.Sprintf("flashcrowd(%.2f->%.2f)", f.Base, f.Peak) }
 
+// Ramp rises linearly from From to To over the given duration and holds
+// To afterwards — a launch ramp-up or a controlled drain-down (From > To
+// works symmetrically).
+type Ramp struct {
+	From, To float64
+	// Duration is the ramp length in seconds; t past it holds To.
+	Duration float64
+}
+
+// At implements Shape.
+func (r Ramp) At(t float64) float64 {
+	if r.Duration <= 0 || t >= r.Duration {
+		return stats.Clamp(r.To, 0, 1)
+	}
+	if t <= 0 {
+		return stats.Clamp(r.From, 0, 1)
+	}
+	return stats.Clamp(r.From+(r.To-r.From)*t/r.Duration, 0, 1)
+}
+
+// Name implements Shape.
+func (r Ramp) Name() string { return fmt.Sprintf("ramp(%.2f->%.2f)", r.From, r.To) }
+
 // Steps is a piecewise-constant load plan (levels repeat cyclically,
 // each held for Dwell seconds) — batch windows, shift changes.
 type Steps struct {

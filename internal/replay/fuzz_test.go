@@ -1,0 +1,65 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the trace parsers: arbitrary bytes must never panic,
+// and any trace a parser accepts must be internally consistent — it
+// validates, round-trips through the CSV writer, and re-parses to the
+// same shape. `make fuzz` runs these as a short smoke.
+
+func FuzzParseCSV(f *testing.F) {
+	f.Add("0,0.3\n60,0.5\n120,0.4\n")
+	f.Add("t,load\n0,0.1\n30,0.9\n")
+	f.Add("# comment\n0, 0.5\n10, 0.6\n")
+	f.Add("")
+	f.Add("0;0.5")
+	f.Add("0,0.5\n-1,0.2\n")
+	f.Add("0,1.5\n1,0.5\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ParseCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		checkAcceptedTrace(t, tr)
+	})
+}
+
+func FuzzParseJSON(f *testing.F) {
+	f.Add(`[{"t":0,"load":0.3},{"t":60,"load":0.5}]`)
+	f.Add(`{"points":[{"t":0,"load":0.2},{"t":1,"load":0.8}],"name":"x"}`)
+	f.Add(`{"points":[]}`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Add(`[{"t":1e308,"load":0.5},{"t":1e309,"load":0.5}]`)
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ParseJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		checkAcceptedTrace(t, tr)
+	})
+}
+
+// checkAcceptedTrace asserts the invariants every parser-accepted trace
+// must satisfy.
+func checkAcceptedTrace(t *testing.T, tr Trace) {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("parser accepted a trace that fails Validate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("writing accepted trace back as CSV: %v", err)
+	}
+	back, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatalf("re-parsing written CSV: %v", err)
+	}
+	if len(back.Points) != len(tr.Points) {
+		t.Fatalf("round trip changed point count: %d -> %d", len(tr.Points), len(back.Points))
+	}
+}

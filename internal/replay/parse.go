@@ -1,0 +1,103 @@
+package replay
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// maxTracePoints bounds parsed traces: a year of per-minute samples with
+// ample headroom. The bound exists so a malformed or hostile input (the
+// parsers also serve the HTTP replay endpoint) cannot balloon memory.
+const maxTracePoints = 1 << 20
+
+// ParseCSV reads a utilization trace from CSV: one "t,load" record per
+// line, seconds and load fraction, with an optional header line (any
+// first record whose fields do not parse as numbers). Blank lines and
+// #-comment lines are skipped. The returned trace is validated.
+func ParseCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // length-checked per record for a better error
+	cr.Comment = '#'
+	var tr Trace
+	first := true
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Trace{}, fmt.Errorf("replay: reading trace CSV: %w", err)
+		}
+		if len(rec) != 2 {
+			return Trace{}, fmt.Errorf("replay: trace CSV record %v: want 2 fields t,load", rec)
+		}
+		t, errT := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		load, errL := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+		if errT != nil || errL != nil {
+			if first {
+				first = false // header line
+				continue
+			}
+			return Trace{}, fmt.Errorf("replay: trace CSV record %v: fields must be numbers", rec)
+		}
+		first = false
+		if len(tr.Points) >= maxTracePoints {
+			return Trace{}, fmt.Errorf("replay: trace exceeds %d points", maxTracePoints)
+		}
+		tr.Points = append(tr.Points, Point{T: t, Load: load})
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}
+
+// ParseJSON reads a trace from JSON: either a full Trace object
+// {"name": ..., "points": [{"t":..,"load":..}, ...]} or a bare array of
+// points. Unknown fields are rejected so typos fail loudly. The returned
+// trace is validated.
+func ParseJSON(r io.Reader) (Trace, error) {
+	data, err := io.ReadAll(io.LimitReader(r, 64<<20))
+	if err != nil {
+		return Trace{}, fmt.Errorf("replay: reading trace JSON: %w", err)
+	}
+	var tr Trace
+	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if strings.HasPrefix(trimmed, "[") {
+		err = dec.Decode(&tr.Points)
+	} else {
+		err = dec.Decode(&tr)
+	}
+	if err != nil {
+		return Trace{}, fmt.Errorf("replay: decoding trace JSON: %w", err)
+	}
+	if len(tr.Points) > maxTracePoints {
+		return Trace{}, fmt.Errorf("replay: trace exceeds %d points", maxTracePoints)
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}
+
+// WriteCSV writes the trace in the format ParseCSV reads, with a header.
+func (tr Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t,load"); err != nil {
+		return err
+	}
+	for _, p := range tr.Points {
+		if _, err := fmt.Fprintf(w, "%g,%g\n", p.T, p.Load); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package replay
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/loadtrace"
+)
+
+func TestTraceValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		tr      Trace
+		wantErr string
+	}{
+		{"ok", Trace{Points: []Point{{0, 0.3}, {1, 0.4}}}, ""},
+		{"too few", Trace{Points: []Point{{0, 0.3}}}, "at least 2 points"},
+		{"empty", Trace{}, "at least 2 points"},
+		{"non-monotonic", Trace{Points: []Point{{0, 0.3}, {2, 0.4}, {1, 0.5}}}, "non-monotonic"},
+		{"duplicate t", Trace{Points: []Point{{0, 0.3}, {0, 0.4}}}, "non-monotonic"},
+		{"load high", Trace{Points: []Point{{0, 0.3}, {1, 1.5}}}, "outside [0, 1]"},
+		{"load negative", Trace{Points: []Point{{0, -0.1}, {1, 0.5}}}, "outside [0, 1]"},
+		{"load NaN", Trace{Points: []Point{{0, math.NaN()}, {1, 0.5}}}, "outside [0, 1]"},
+		{"t NaN", Trace{Points: []Point{{math.NaN(), 0.3}, {1, 0.5}}}, "non-finite"},
+		{"t Inf", Trace{Points: []Point{{0, 0.3}, {math.Inf(1), 0.5}}}, "non-finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.tr.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestTraceDurationAndMeanLoad(t *testing.T) {
+	tr := Trace{Points: []Point{{0, 0.2}, {10, 0.4}, {20, 0.6}}}
+	// Final dwell repeats the preceding 10s interval: total 30s.
+	if got := tr.Duration(); got != 30 {
+		t.Fatalf("Duration = %g, want 30", got)
+	}
+	want := (0.2*10 + 0.4*10 + 0.6*10) / 30
+	if got := tr.MeanLoad(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanLoad = %g, want %g", got, want)
+	}
+}
+
+func TestFromShape(t *testing.T) {
+	shape := loadtrace.Diurnal{Mean: 0.3, Amplitude: 0.2, Period: 86400}
+	tr, err := FromShape(shape, 300, 288)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Steps() != 288 {
+		t.Fatalf("steps = %d, want 288", tr.Steps())
+	}
+	if tr.Duration() != 86400 {
+		t.Fatalf("duration = %g, want 86400", tr.Duration())
+	}
+	// Midpoint sampling: point i's load is the shape at (i+0.5)*step.
+	for i, p := range tr.Points {
+		if want := shape.At((float64(i) + 0.5) * 300); p.Load != want {
+			t.Fatalf("point %d load %g, want %g", i, p.Load, want)
+		}
+	}
+	if _, err := FromShape(shape, 0, 10); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := FromShape(shape, 300, 1); err == nil {
+		t.Fatal("single step accepted")
+	}
+}
+
+func TestParseCSV(t *testing.T) {
+	cases := []struct {
+		name, in string
+		points   int
+		wantErr  string
+	}{
+		{"plain", "0,0.3\n300,0.5\n600,0.4\n", 3, ""},
+		{"header", "t,load\n0,0.3\n300,0.5\n", 2, ""},
+		{"comments and blanks", "# trace\n0,0.3\n\n300,0.5\n", 2, ""},
+		{"whitespace", " 0 , 0.3\n 300 , 0.5\n", 2, ""},
+		{"bad field count", "0,0.3,9\n300,0.5\n", 0, "want 2 fields"},
+		{"bad number mid-file", "0,0.3\nx,0.5\n", 0, "must be numbers"},
+		{"non-monotonic", "0,0.3\n300,0.5\n100,0.4\n", 0, "non-monotonic"},
+		{"load out of range", "0,0.3\n300,1.5\n", 0, "outside [0, 1]"},
+		{"empty", "", 0, "at least 2 points"},
+		{"header only", "t,load\n", 0, "at least 2 points"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := ParseCSV(strings.NewReader(tc.in))
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseCSV = %v, want error containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseCSV: %v", err)
+			}
+			if len(tr.Points) != tc.points {
+				t.Fatalf("points = %d, want %d", len(tr.Points), tc.points)
+			}
+		})
+	}
+}
+
+func TestParseJSON(t *testing.T) {
+	cases := []struct {
+		name, in string
+		points   int
+		wantErr  string
+	}{
+		{"object", `{"name":"x","points":[{"t":0,"load":0.3},{"t":300,"load":0.5}]}`, 2, ""},
+		{"bare array", `[{"t":0,"load":0.3},{"t":300,"load":0.5}]`, 2, ""},
+		{"leading space array", "\n  [{\"t\":0,\"load\":0.3},{\"t\":300,\"load\":0.5}]", 2, ""},
+		{"unknown field", `{"points":[{"t":0,"load":0.3}],"bogus":1}`, 0, "decoding"},
+		{"not json", `hello`, 0, "decoding"},
+		{"non-monotonic", `[{"t":5,"load":0.3},{"t":1,"load":0.5}]`, 0, "non-monotonic"},
+		{"too few", `[{"t":0,"load":0.3}]`, 0, "at least 2 points"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := ParseJSON(strings.NewReader(tc.in))
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseJSON = %v, want error containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseJSON: %v", err)
+			}
+			if len(tr.Points) != tc.points {
+				t.Fatalf("points = %d, want %d", len(tr.Points), tc.points)
+			}
+		})
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Trace{Points: []Point{{0, 0.25}, {300, 0.5}, {600, 0.75}}}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(tr.Points) {
+		t.Fatalf("round trip lost points: %d != %d", len(back.Points), len(tr.Points))
+	}
+	for i := range tr.Points {
+		if back.Points[i] != tr.Points[i] {
+			t.Fatalf("point %d: %+v != %+v", i, back.Points[i], tr.Points[i])
+		}
+	}
+}

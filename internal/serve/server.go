@@ -64,6 +64,10 @@ type Config struct {
 	// MaxFrontierConfigs caps the configuration-space size a single
 	// /v1/frontier request may ask to sweep; 0 means 131072.
 	MaxFrontierConfigs int
+	// MaxReplaySteps caps the trace length a single /v1/replay request
+	// may ask to replay (each step costs percentile solves); 0 means
+	// 65536.
+	MaxReplaySteps int
 	// Workers is the sweep worker-pool width for frontier requests;
 	// 0 means GOMAXPROCS.
 	Workers int
@@ -102,6 +106,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxFrontierConfigs <= 0 {
 		c.MaxFrontierConfigs = 1 << 17
 	}
+	if c.MaxReplaySteps <= 0 {
+		c.MaxReplaySteps = 1 << 16
+	}
 	return c, nil
 }
 
@@ -131,6 +138,7 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("/v1/percentiles", s.api("percentiles", s.handlePercentiles))
 	mux.Handle("/v1/epmetrics", s.api("epmetrics", s.handleEpmetrics))
 	mux.Handle("/v1/frontier", s.api("frontier", s.handleFrontier))
+	mux.Handle("/v1/replay", s.api("replay", s.handleReplay))
 	mux.Handle("/v1/healthz", s.probe("healthz", s.handleHealthz))
 	mux.Handle("/v1/readyz", s.probe("readyz", s.handleReadyz))
 	mux.Handle("/metrics", s.probe("metrics", cfg.Telemetry.PrometheusHandler().ServeHTTP))
@@ -294,7 +302,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"service": "epserve",
 		"endpoints": []string{
-			"/v1/percentiles", "/v1/epmetrics", "/v1/frontier",
+			"/v1/percentiles", "/v1/epmetrics", "/v1/frontier", "/v1/replay",
 			"/v1/healthz", "/v1/readyz", "/metrics", "/debug/pprof/",
 		},
 	})
