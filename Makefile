@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race vet check ci serve-smoke bench bench-queueing reproduce examples fuzz fuzz-smoke golden clean
+.PHONY: all build test test-race race vet check ci serve-smoke bench bench-queueing bench-frontier reproduce examples fuzz fuzz-smoke golden clean
 
 all: build vet test
 
@@ -46,9 +46,11 @@ race: test-race
 
 # ci is the full gate the workflow runs: formatting, vet, tier-1
 # build+test, targeted race runs over the concurrency-heavy packages
-# (queueing percentile cache, serve streaming, replay fan-out), the
-# epserve end-to-end smoke, and a short fuzz smoke over the parser and
-# kernel differential targets.
+# (queueing percentile cache, serve streaming, replay fan-out, and the
+# memoized frontier engine's shared unit-calc table), the frontier
+# fast-vs-reference differential smoke over the full footnote-4 space,
+# the epserve end-to-end smoke, and a short fuzz smoke over the parser
+# and kernel differential targets.
 ci:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -56,6 +58,8 @@ ci:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/queueing/ ./internal/serve/ ./internal/replay/
+	$(GO) test -run TestTableDifferentialPaperSpace ./internal/model/
+	$(GO) test -race -short -run 'TestFastSweep|TestFrontier' ./internal/pareto/
 	$(MAKE) serve-smoke
 	$(MAKE) fuzz-smoke
 
@@ -73,6 +77,17 @@ bench-queueing:
 		-benchmem -run '^$$' ./internal/queueing/ | tee bench_queueing.out
 	$(GO) run ./internal/tools/benchjson bench_queueing.out > BENCH_queueing.json
 	@echo wrote BENCH_queueing.json
+
+# Frontier-engine benchmarks over the paper's footnote-4 space (36,380
+# configurations), distilled into BENCH_frontier.json: sweep and
+# per-evaluation speedups of the memoized engine versus the preserved
+# per-config reference, configs/s throughput, and the allocs/op proof
+# that the hot path stays off the heap.
+bench-frontier:
+	$(GO) test -bench 'BenchmarkFrontierSweep|BenchmarkEvaluate(Fast|Reference)$$' \
+		-benchmem -run '^$$' ./internal/pareto/ | tee bench_frontier.out
+	$(GO) run ./internal/tools/benchfrontier bench_frontier.out > BENCH_frontier.json
+	@echo wrote BENCH_frontier.json
 
 # Regenerate every table, figure, extension study and SUMMARY.txt.
 reproduce:
@@ -107,4 +122,4 @@ golden:
 	$(GO) test -run TestGolden -update .
 
 clean:
-	rm -rf results bench.out bench_queueing.out
+	rm -rf results bench.out bench_queueing.out bench_frontier.out

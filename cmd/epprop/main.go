@@ -14,10 +14,14 @@ import (
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/energyprop"
 	"repro/internal/model"
+	"repro/internal/pareto"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -26,17 +30,18 @@ func main() {
 	ref := flag.String("ref", "", "reference mix to normalize against (empty = own peak)")
 	pct := flag.Float64("percentile", 95, "response-time percentile")
 	plot := flag.Bool("plot", false, "render ASCII plots of the curves")
+	frontier := flag.Bool("frontier", false, "place the mix against the Pareto frontier of its own design space")
 	nodes := flag.String("nodes", "", "JSON file with extra node types")
 	wls := flag.String("workloads", "", "JSON file with extra workload profiles")
 	workers := flag.Int("workers", 0, "parallel workers for the percentile sweep (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*wlName, *mix, *ref, *pct, *plot, *nodes, *wls, *workers); err != nil {
+	if err := run(*wlName, *mix, *ref, *pct, *plot, *frontier, *nodes, *wls, *workers); err != nil {
 		cli.Fatal("epprop", err)
 	}
 }
 
-func run(wlName, mix, refMix string, pct float64, plot bool, nodesPath, wlsPath string, workers int) error {
+func run(wlName, mix, refMix string, pct float64, plot, frontier bool, nodesPath, wlsPath string, workers int) error {
 	catalog, registry, err := cli.LoadEnvironment(nodesPath, wlsPath)
 	if err != nil {
 		return err
@@ -100,6 +105,12 @@ func run(wlName, mix, refMix string, pct float64, plot bool, nodesPath, wlsPath 
 			100*u, a.PowerAt(u), norm, a.PPRAt(u), pg, resp, marker)
 	}
 
+	if frontier {
+		if err := placeOnFrontier(cfg, wl); err != nil {
+			return err
+		}
+	}
+
 	if plot {
 		grid := stats.Linspace(0.05, 1, 96)
 		xs := make([]float64, len(grid))
@@ -122,6 +133,63 @@ func run(wlName, mix, refMix string, pct float64, plot bool, nodesPath, wlsPath 
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// placeOnFrontier sweeps the design space spanned by the mix's own node
+// types (up to the mix's node counts, cores and DVFS free) with the
+// memoized engine and reports where the mix sits relative to the
+// time-energy Pareto frontier of that space.
+func placeOnFrontier(cfg cluster.Config, wl *workload.Profile) error {
+	limits := make([]cluster.Limit, 0, len(cfg.Groups))
+	for _, g := range cfg.Groups {
+		limits = append(limits, cluster.Limit{Type: g.Type, MaxNodes: g.Count})
+	}
+	total := cluster.SpaceSize(limits)
+
+	reg := telemetry.Global()
+	if reg == nil {
+		reg = telemetry.New()
+		telemetry.SetGlobal(reg)
+		defer telemetry.SetGlobal(nil)
+	}
+	evalC, pruneC := reg.Counter("pareto.configs_evaluated"), reg.Counter("pareto.configs_pruned")
+	evalBefore, pruneBefore := evalC.Value(), pruneC.Value()
+	front, err := pareto.FrontierSweep(limits, wl, model.Options{}, pareto.SweepOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfrontier of the %s design space (%d configurations, %d evaluated, %d pruned): %d points\n",
+		cfg, total, evalC.Value()-evalBefore, pruneC.Value()-pruneBefore, len(front))
+
+	own, err := model.Evaluate(cfg, wl, model.Options{})
+	if err != nil {
+		return err
+	}
+	onFrontier := false
+	for _, p := range front {
+		if p.Config.Key() == cfg.Key() {
+			onFrontier = true
+			break
+		}
+	}
+	if onFrontier {
+		fmt.Printf("the mix is ON the frontier (T=%v E=%v)\n", own.Time, own.Energy)
+	} else {
+		fmt.Printf("the mix is OFF the frontier (T=%v E=%v)\n", own.Time, own.Energy)
+		// The frontier is sorted by time, so the first dominator is the
+		// fastest configuration beating the mix on both axes.
+		for _, p := range front {
+			if p.Time <= own.Time && p.Energy <= own.Energy {
+				fmt.Printf("dominated by %-22s T=%v E=%v\n", p.Config, p.Time, p.Energy)
+				break
+			}
+		}
+	}
+	if best, ok := pareto.MinEDP(front); ok {
+		fmt.Printf("min-EDP on frontier: %-22s T=%v E=%v EDP=%.4g\n",
+			best.Config, best.Time, best.Energy, best.Result.EDP())
 	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/energyprop"
 	"repro/internal/loadtrace"
 	"repro/internal/model"
@@ -28,6 +29,10 @@ import (
 func main() {
 	wlName := flag.String("workload", "EP", "workload name")
 	mixes := flag.String("mixes", "32xA9,12xK10;25xA9,8xK10;25xA9,5xK10", "semicolon-separated candidate mixes; the fastest is the static reference")
+	frontierN := flag.Int("frontier-candidates", 0, "derive N candidates from the Pareto frontier of the -maxA9/-maxK10 space instead of -mixes (0 disables)")
+	maxA9 := flag.Int("maxA9", 32, "maximum wimpy nodes for -frontier-candidates")
+	maxK10 := flag.Int("maxK10", 12, "maximum brawny nodes for -frontier-candidates")
+	dvfs := flag.Bool("dvfs", false, "let -frontier-candidates explore reduced cores and frequencies")
 	shapeName := flag.String("shape", "diurnal", "load shape: diurnal, flashcrowd or steps")
 	mean := flag.Float64("mean", 0.3, "diurnal mean load fraction")
 	amplitude := flag.Float64("amplitude", 0.25, "diurnal amplitude")
@@ -48,7 +53,7 @@ func main() {
 		cli.Fatal("eptrace", err)
 	}
 	err := run(*wlName, *mixes, *shapeName, *mean, *amplitude, *base, *peak, *levels,
-		*duration, *step, *slo, *hysteresis, *showPlan, *nodes, *wls)
+		*duration, *step, *slo, *hysteresis, *showPlan, *frontierN, *maxA9, *maxK10, *dvfs, *nodes, *wls)
 	if cerr := tel.Close(); err == nil {
 		err = cerr
 	}
@@ -58,7 +63,8 @@ func main() {
 }
 
 func run(wlName, mixes, shapeName string, mean, amplitude, base, peak float64, levels string,
-	duration, step, slo time.Duration, hysteresis float64, showPlan bool, nodesPath, wlsPath string) error {
+	duration, step, slo time.Duration, hysteresis float64, showPlan bool,
+	frontierN, maxA9, maxK10 int, dvfs bool, nodesPath, wlsPath string) error {
 	catalog, registry, err := cli.LoadEnvironment(nodesPath, wlsPath)
 	if err != nil {
 		return err
@@ -69,20 +75,46 @@ func run(wlName, mixes, shapeName string, mean, amplitude, base, peak float64, l
 	}
 
 	var cands []*energyprop.Analysis
-	for _, spec := range strings.Split(mixes, ";") {
-		spec = strings.TrimSpace(spec)
-		if spec == "" {
-			continue
-		}
-		cfg, err := cli.ParseMix(catalog, spec, 0, 0)
+	if frontierN > 0 {
+		// Candidate matrix from the design space itself: sweep the
+		// frontier with the memoized engine and thin it to N mixes.
+		a9, err := catalog.Lookup("A9")
 		if err != nil {
 			return err
 		}
-		a, err := energyprop.Analyze(cfg, wl, model.Options{}, 100)
+		k10, err := catalog.Lookup("K10")
 		if err != nil {
 			return err
 		}
-		cands = append(cands, a)
+		limits := []cluster.Limit{
+			{Type: a9, MaxNodes: maxA9, FixCoresAndFreq: !dvfs},
+			{Type: k10, MaxNodes: maxK10, FixCoresAndFreq: !dvfs},
+		}
+		cands, err = adaptive.FrontierCandidates(limits, wl, model.Options{}, frontierN, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("frontier candidates over %d configurations:\n", cluster.SpaceSize(limits))
+		for _, c := range cands {
+			fmt.Printf("  %-22s T=%v E=%v\n", c.Result.Config, c.Result.Time, c.Result.Energy)
+		}
+		fmt.Println()
+	} else {
+		for _, spec := range strings.Split(mixes, ";") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			cfg, err := cli.ParseMix(catalog, spec, 0, 0)
+			if err != nil {
+				return err
+			}
+			a, err := energyprop.Analyze(cfg, wl, model.Options{}, 100)
+			if err != nil {
+				return err
+			}
+			cands = append(cands, a)
+		}
 	}
 	if len(cands) < 2 {
 		return fmt.Errorf("need at least two candidate mixes, got %d", len(cands))

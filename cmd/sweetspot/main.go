@@ -36,6 +36,7 @@ func main() {
 	maxA9 := flag.Int("maxA9", 32, "maximum wimpy nodes")
 	maxK10 := flag.Int("maxK10", 12, "maximum brawny nodes")
 	dvfs := flag.Bool("dvfs", false, "also explore reduced cores and frequencies")
+	noPrune := flag.Bool("noprune", false, "disable bound-based subtree pruning in the sweep")
 	nodes := flag.String("nodes", "", "JSON file with extra node types")
 	wls := flag.String("workloads", "", "JSON file with extra workload profiles")
 	progress := flag.Int("progress", 0, "print exploration progress to stderr every N configurations (0 disables)")
@@ -46,7 +47,7 @@ func main() {
 	if err := tel.Start(); err != nil {
 		cli.Fatal("sweetspot", err)
 	}
-	err := run(*wlName, *deadline, *energyJ, *powerW, *maxA9, *maxK10, *dvfs, *nodes, *wls, *progress, *workers)
+	err := run(*wlName, *deadline, *energyJ, *powerW, *maxA9, *maxK10, *dvfs, *noPrune, *nodes, *wls, *progress, *workers)
 	if cerr := tel.Close(); err == nil {
 		err = cerr
 	}
@@ -55,7 +56,7 @@ func main() {
 	}
 }
 
-func run(wlName string, deadline time.Duration, energyJ, powerW float64, maxA9, maxK10 int, dvfs bool, nodesPath, wlsPath string, progressEvery, workers int) error {
+func run(wlName string, deadline time.Duration, energyJ, powerW float64, maxA9, maxK10 int, dvfs, noPrune bool, nodesPath, wlsPath string, progressEvery, workers int) error {
 	catalog, registry, err := cli.LoadEnvironment(nodesPath, wlsPath)
 	if err != nil {
 		return err
@@ -91,13 +92,27 @@ func run(wlName string, deadline time.Duration, energyJ, powerW float64, maxA9, 
 			return peak <= powerW
 		}
 	}
+	// Install an ephemeral registry when telemetry is off so the pruning
+	// counter is still observable in the summary line.
+	reg := telemetry.Global()
+	if reg == nil {
+		reg = telemetry.New()
+		telemetry.SetGlobal(reg)
+		defer telemetry.SetGlobal(nil)
+	}
+	prunedC := reg.Counter("pareto.configs_pruned")
+	prunedBefore := prunedC.Value()
 	frontier, err := pareto.FrontierSweep(limits, wl, model.Options{}, pareto.SweepOptions{
 		Workers:  workers,
 		Progress: pr,
 		Filter:   filter,
+		NoPrune:  noPrune,
 	})
 	if err != nil {
 		return err
+	}
+	if pruned := prunedC.Value() - prunedBefore; pruned > 0 {
+		fmt.Printf("pruned %d configurations via frontier lower bounds\n", pruned)
 	}
 	if len(frontier) == 0 {
 		return fmt.Errorf("no feasible configuration under the power budget")

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/energyprop"
-	"repro/internal/model"
 	"repro/internal/pareto"
 	"repro/internal/workload"
 )
@@ -141,28 +140,16 @@ func (s *Suite) FullSpaceFrontier(wl string, maxA9, maxK10 int) (*FullSpaceResul
 	}
 	res := &FullSpaceResult{Workload: wl, SpaceSize: cluster.SpaceSize(limits)}
 
-	// Stream the enumeration: evaluating and keeping only a running
-	// candidate set avoids materializing the whole space.
+	// The memoized sweep engine streams the space itself: unit-calc
+	// tables replace per-config Evaluate, subtree pruning skips regions
+	// the running frontier already dominates, and only survivors get a
+	// materialized model.Result.
 	pr := s.progress("full-space "+wl, res.SpaceSize)
-	var points []pareto.Point
-	err = cluster.Enumerate(limits, func(cfg cluster.Config) bool {
-		pr.Tick()
-		r, err := model.Evaluate(cfg, p, s.Opt)
-		if err != nil {
-			return true // workload cannot run here; skip
-		}
-		points = append(points, pareto.Point{Config: cfg, Time: r.Time, Energy: r.Energy, Result: r})
-		// Periodically compact to the running frontier to bound memory.
-		if len(points) > 4096 {
-			points = pareto.Frontier(points)
-		}
-		return true
-	})
+	front, err := pareto.FrontierSweep(limits, p, s.Opt, pareto.SweepOptions{Progress: pr})
 	if err != nil {
 		return nil, err
 	}
-	pr.Done()
-	res.Frontier = pareto.Frontier(points)
+	res.Frontier = front
 	for _, pt := range res.Frontier {
 		for _, g := range pt.Config.Groups {
 			if g.Cores != g.Type.Cores || g.Freq != g.Type.FMax() {

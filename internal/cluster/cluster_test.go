@@ -190,3 +190,62 @@ func TestSwitchPowerModel(t *testing.T) {
 		}
 	}
 }
+
+// TestEnumerateAllPreallocatesExactly: for asymmetric multi-type limits
+// (mixed core caps, frequency restrictions and a fixed type), SpaceSize
+// matches the enumerated count exactly and EnumerateAll sizes its
+// result up front — the returned slice never grew past the closed-form
+// capacity.
+func TestEnumerateAllPreallocatesExactly(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	arm, err := cat.Lookup("A9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd, err := cat.Lookup("K10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xeon, err := cat.Lookup("XeonE5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := []Limit{
+		{Type: arm, MaxNodes: 3, MaxCores: 2},               // 3*2*5 = 30 choices
+		{Type: amd, MaxNodes: 2, Freqs: amd.Freq.Steps[:2]}, // 2*6*2 = 24 choices
+		{Type: xeon, MaxNodes: 4, FixCoresAndFreq: true},    // 4 choices
+	}
+	want := (1+30)*(1+24)*(1+4) - 1
+	if got := SpaceSize(limits); got != want {
+		t.Fatalf("SpaceSize = %d, want %d", got, want)
+	}
+	out, err := EnumerateAll(limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != want {
+		t.Fatalf("EnumerateAll yielded %d configs, SpaceSize says %d", len(out), want)
+	}
+	if cap(out) != want {
+		t.Errorf("EnumerateAll capacity %d, want exactly SpaceSize %d (preallocated, no growth)",
+			cap(out), want)
+	}
+	// Choices must expose the same per-type space Enumerate consumes.
+	if got := len(limits[0].Choices()); got != 30 {
+		t.Errorf("A9 Choices = %d, want 30", got)
+	}
+	if got := len(limits[2].Choices()); got != 4 {
+		t.Errorf("fixed XeonE5 Choices = %d, want 4", got)
+	}
+}
+
+// TestEnumerateAllInvalidLimits: validation errors surface before any
+// preallocation math touches the (possibly nil) node types.
+func TestEnumerateAllInvalidLimits(t *testing.T) {
+	if _, err := EnumerateAll([]Limit{{Type: nil, MaxNodes: 3}}); err == nil {
+		t.Fatal("nil type accepted")
+	}
+	if err := ValidateLimits([]Limit{{Type: nil}}); err == nil {
+		t.Fatal("ValidateLimits accepted nil type")
+	}
+}

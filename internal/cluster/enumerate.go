@@ -48,6 +48,12 @@ func (l Limit) freqs() []units.Hertz {
 	return l.Type.Freq.Steps
 }
 
+// Choices returns every (count, cores, freq) Group choice for the type
+// with count >= 1, in the deterministic order Enumerate consumes them.
+// The fast frontier engine iterates these directly instead of
+// re-deriving the per-type space.
+func (l Limit) Choices() []Group { return l.perTypeChoices() }
+
 // perTypeChoices returns every (count, cores, freq) choice for one type
 // with count >= 1.
 func (l Limit) perTypeChoices() []Group {
@@ -91,13 +97,8 @@ func SpaceSize(limits []Limit) int {
 // node types, each contributing one (count, cores, frequency) choice
 // shared by all its nodes.
 func Enumerate(limits []Limit, visit func(Config) bool) error {
-	for _, l := range limits {
-		if l.Type == nil {
-			return fmt.Errorf("cluster: enumeration limit with nil type")
-		}
-		if err := l.Type.Validate(); err != nil {
-			return err
-		}
+	if err := ValidateLimits(limits); err != nil {
+		return err
 	}
 	choices := make([][]Group, len(limits))
 	for i, l := range limits {
@@ -137,10 +138,38 @@ func Enumerate(limits []Limit, visit func(Config) bool) error {
 	return nil
 }
 
-// EnumerateAll collects the full space into a slice. Use only for spaces
-// known to be small; prefer Enumerate for streaming.
+// ValidateLimits checks that every limit carries a valid node type —
+// the precondition Enumerate and the fast frontier engine share.
+func ValidateLimits(limits []Limit) error {
+	for _, l := range limits {
+		if l.Type == nil {
+			return fmt.Errorf("cluster: enumeration limit with nil type")
+		}
+		if err := l.Type.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enumerateAllPreallocCap bounds the up-front allocation of
+// EnumerateAll: SpaceSize is exact, but a caller handing over a huge
+// (or overflowed) space should not trigger a giant allocation before
+// the first configuration exists.
+const enumerateAllPreallocCap = 1 << 20
+
+// EnumerateAll collects the full space into a slice, sized up front
+// from SpaceSize so the result never reallocates while growing. Use
+// only for spaces known to be small; prefer Enumerate for streaming.
 func EnumerateAll(limits []Limit) ([]Config, error) {
-	var out []Config
+	if err := ValidateLimits(limits); err != nil {
+		return nil, err
+	}
+	size := SpaceSize(limits)
+	if size < 0 || size > enumerateAllPreallocCap {
+		size = enumerateAllPreallocCap
+	}
+	out := make([]Config, 0, size)
 	err := Enumerate(limits, func(c Config) bool {
 		out = append(out, c)
 		return true

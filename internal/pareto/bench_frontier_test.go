@@ -1,0 +1,153 @@
+package pareto
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// paperBenchSpace returns the paper's footnote-4 design space (36,380
+// configurations: 10 A9 and 10 K10 nodes with free cores and DVFS) and
+// the EP workload — the benchmark substrate for `make bench-frontier`.
+func paperBenchSpace(tb testing.TB) ([]cluster.Limit, *workload.Profile) {
+	tb.Helper()
+	cat := hardware.DefaultCatalog()
+	reg, err := workload.PaperRegistry(cat)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	a9, err := cat.Lookup("A9")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	k10, err := cat.Lookup("K10")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return []cluster.Limit{
+		{Type: a9, MaxNodes: 10},
+		{Type: k10, MaxNodes: 10},
+	}, wl
+}
+
+func benchSweep(b *testing.B, sw SweepOptions) {
+	limits, wl := paperBenchSpace(b)
+	total := cluster.SpaceSize(limits)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		front, err := FrontierSweep(limits, wl, model.Options{}, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(front) == 0 {
+			b.Fatal("empty frontier")
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(total)*float64(b.N)/secs, "configs/s")
+	}
+}
+
+// BenchmarkFrontierSweepFast is the headline number: the memoized
+// closed-form engine with subtree pruning over the footnote-4 space.
+func BenchmarkFrontierSweepFast(b *testing.B) {
+	benchSweep(b, SweepOptions{})
+}
+
+// BenchmarkFrontierSweepFastNoPrune isolates the pruning contribution.
+func BenchmarkFrontierSweepFastNoPrune(b *testing.B) {
+	benchSweep(b, SweepOptions{NoPrune: true})
+}
+
+// BenchmarkFrontierSweepReference is the preserved pre-memoization
+// baseline: one full model.Evaluate per configuration.
+func BenchmarkFrontierSweepReference(b *testing.B) {
+	benchSweep(b, SweepOptions{Reference: true})
+}
+
+// BenchmarkEvaluateFast measures the allocation-free hot path on a
+// two-type configuration; allocs/op must report 0.
+func BenchmarkEvaluateFast(b *testing.B) {
+	_, wl := paperBenchSpace(b)
+	cat := hardware.DefaultCatalog()
+	a9, _ := cat.Lookup("A9")
+	k10, _ := cat.Lookup("K10")
+	cfg := cluster.MustConfig(cluster.FullNodes(a9, 7), cluster.FullNodes(k10, 3))
+	table := model.NewTable(wl, model.Options{})
+	if _, ok := table.EvaluateFast(cfg); !ok {
+		b.Fatal("configuration not evaluable")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := table.EvaluateFast(cfg); !ok {
+			b.Fatal("evaluation failed")
+		}
+	}
+}
+
+// BenchmarkEvaluateReference is model.Evaluate on the same
+// configuration, for the per-evaluation speedup ratio.
+func BenchmarkEvaluateReference(b *testing.B) {
+	_, wl := paperBenchSpace(b)
+	cat := hardware.DefaultCatalog()
+	a9, _ := cat.Lookup("A9")
+	k10, _ := cat.Lookup("K10")
+	cfg := cluster.MustConfig(cluster.FullNodes(a9, 7), cluster.FullNodes(k10, 3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Evaluate(cfg, wl, model.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEvaluateParallelPerConfigAllocs verifies the satellite fix: the
+// value-slice result buffer removed the per-configuration *Point heap
+// allocation, so evaluateParallel's per-config allocations are bounded
+// by model.Evaluate's own internals (calc slice + group growth), with
+// no extra object per evaluated configuration.
+func TestEvaluateParallelPerConfigAllocs(t *testing.T) {
+	limits, wl := paperBenchSpace(t)
+	var configs []cluster.Config
+	err := cluster.Enumerate(limits, func(cfg cluster.Config) bool {
+		configs = append(configs, cfg)
+		return len(configs) < 512
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: what model.Evaluate itself costs per configuration.
+	perEval := testing.AllocsPerRun(5, func() {
+		for _, cfg := range configs {
+			if _, err := model.Evaluate(cfg, wl, model.Options{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}) / float64(len(configs))
+
+	perSweep := testing.AllocsPerRun(5, func() {
+		if out := EvaluateParallel(configs, wl, model.Options{}, 2); len(out) != len(configs) {
+			t.Fatalf("evaluated %d of %d", len(out), len(configs))
+		}
+	}) / float64(len(configs))
+
+	// Allow the amortized slot slice, output slice and pool scaffolding
+	// on top of the model's own allocations — but not the one-Point-
+	// per-config overhead the slice of pointers used to cost.
+	if perSweep > perEval+0.5 {
+		t.Errorf("evaluateParallel allocates %.2f objects/config, model.Evaluate alone %.2f: per-config overhead returned",
+			perSweep, perEval)
+	}
+}

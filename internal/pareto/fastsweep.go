@@ -1,0 +1,412 @@
+package pareto
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// This file implements the memoized closed-form sweep engine behind
+// FrontierSweep. Instead of re-running the full Table 2 model —
+// validation, demand-map lookups, per-group slice allocation — once
+// per configuration, it:
+//
+//  1. memoizes a model.UnitCalc per distinct (type, cores, freq)
+//     operating point (tens of entries for tens of thousands of
+//     configurations),
+//  2. evaluates each configuration allocation-free through
+//     model.EvaluateCalcs, whose scalars are bitwise-identical to
+//     model.Evaluate (same expression shapes and accumulation order),
+//  3. prunes whole enumeration subtrees with monotone lower bounds:
+//     fixing a prefix of per-type choices bounds the best reachable
+//     time by JobUnits/(rate_prefix + max remaining rate) and the best
+//     reachable energy by JobUnits * min EnergyPerUnit — if a running
+//     frontier point is at least as good on both axes, no completion
+//     of the prefix can ever be accepted by Frontier, so the subtree
+//     is skipped without evaluation (counted in pareto.configs_pruned).
+//
+// Exactness argument. The final frontier is computed by one Frontier
+// call over the surviving points. A point is dropped early only when
+// some retained point q has q.Time <= p.Time and q.Energy <= p.Energy
+// (admission), or when the subtree bounds guarantee such a q exists
+// for every completion (pruning, with a relative slack covering the
+// model's floating-point rounding). In Frontier's scan, acceptance of
+// p would require p.Energy < bestEnergy*(1-1e-9) <= q.Energy — a
+// contradiction — and rejected points never mutate the scan state
+// (bestEnergy, lastTime), so removing them leaves the output
+// unchanged: the result equals Frontier over every evaluated point,
+// which (by bitwise-equal scalars) equals the reference path's
+// frontier point for point.
+
+// boundSlack is the relative safety margin applied to the pruning
+// lower bounds. The bounds are exact in real arithmetic; the evaluated
+// scalars carry a few tens of ulps of rounding (~1e-14 relative), so a
+// 1e-9 haircut keeps the bounds strictly conservative with eight
+// orders of magnitude to spare.
+const boundSlack = 1e-9
+
+// fastFoldChunk is how many admitted points accumulate before the
+// running frontier is re-compacted.
+const fastFoldChunk = 2048
+
+// curSel is the DFS's current choice for one type; on=false means the
+// type is skipped at this point of the walk.
+type curSel struct {
+	on bool
+	g  cluster.Group
+	uc *model.UnitCalc
+}
+
+type fastEngine struct {
+	table    *model.Table
+	jobUnits float64
+	limits   []cluster.Limit
+	filter   func(cluster.Config) bool
+	noPrune  bool
+	pr       *telemetry.Progress
+
+	choices [][]cluster.Group
+	calcs   [][]*model.UnitCalc
+	// byRank walks limit indices in node-type-name order — the
+	// canonical cluster.NewConfig group order the bitwise-exact
+	// evaluator requires.
+	byRank []int
+	cur    []curSel
+	gcsBuf []model.GroupCalc
+
+	// maxRateSuffix[i] bounds the execution rate types i.. can add;
+	// minEPUSuffix[i] is the lowest busy energy-per-unit any of their
+	// choices offers; suffixSpace[i] counts the completions of a
+	// non-empty prefix (product of 1+len(choices) over types i..).
+	maxRateSuffix []float64
+	minEPUSuffix  []float64
+	suffixSpace   []int64
+
+	// Running frontier: survivors in enumeration order, the pending
+	// batch, and the compacted (time ascending, energy descending)
+	// coordinate arrays used for domination tests.
+	survivors []Point
+	batch     []Point
+	runT      []float64
+	runE      []float64
+
+	nEvaluated int64
+	nSkipped   int64
+	nFiltered  int64
+	nPruned    int64
+}
+
+func newFastEngine(limits []cluster.Limit, table *model.Table, sw SweepOptions) *fastEngine {
+	e := &fastEngine{
+		table:    table,
+		jobUnits: table.JobUnits(),
+		limits:   limits,
+		filter:   sw.Filter,
+		noPrune:  sw.NoPrune,
+		pr:       sw.Progress,
+		choices:  make([][]cluster.Group, len(limits)),
+		calcs:    make([][]*model.UnitCalc, len(limits)),
+		byRank:   make([]int, len(limits)),
+		cur:      make([]curSel, len(limits)),
+		gcsBuf:   make([]model.GroupCalc, 0, len(limits)),
+	}
+	for i, l := range limits {
+		gs := l.Choices()
+		cs := make([]*model.UnitCalc, len(gs))
+		for j, g := range gs {
+			cs[j] = table.Calc(g)
+		}
+		e.choices[i] = gs
+		e.calcs[i] = cs
+		e.byRank[i] = i
+	}
+	sort.SliceStable(e.byRank, func(a, b int) bool {
+		return limits[e.byRank[a]].Type.Name < limits[e.byRank[b]].Type.Name
+	})
+
+	n := len(limits)
+	e.maxRateSuffix = make([]float64, n+1)
+	e.minEPUSuffix = make([]float64, n+1)
+	e.suffixSpace = make([]int64, n+1)
+	e.minEPUSuffix[n] = math.Inf(1)
+	e.suffixSpace[n] = 1
+	for i := n - 1; i >= 0; i-- {
+		maxRate := 0.0
+		minEPU := math.Inf(1)
+		for j, uc := range e.calcs[i] {
+			if !uc.Supported {
+				continue
+			}
+			if r := uc.NodeRate * float64(e.choices[i][j].Count); r > maxRate {
+				maxRate = r
+			}
+			if uc.EnergyPerUnit < minEPU {
+				minEPU = uc.EnergyPerUnit
+			}
+		}
+		e.maxRateSuffix[i] = e.maxRateSuffix[i+1] + maxRate
+		e.minEPUSuffix[i] = e.minEPUSuffix[i+1]
+		if minEPU < e.minEPUSuffix[i] {
+			e.minEPUSuffix[i] = minEPU
+		}
+		e.suffixSpace[i] = e.suffixSpace[i+1] * int64(1+len(e.choices[i]))
+	}
+	return e
+}
+
+// covered reports whether some running-frontier point is at least as
+// good as (t, en) on both axes.
+func (e *fastEngine) covered(t, en float64) bool {
+	j := sort.SearchFloat64s(e.runT, t)
+	// SearchFloat64s returns the first index with runT >= t; the last
+	// index with runT <= t is j when runT[j] == t, else j-1.
+	if j == len(e.runT) || e.runT[j] != t {
+		j--
+	}
+	if j < 0 {
+		return false
+	}
+	return e.runE[j] <= en
+}
+
+// pruneBound reports whether every completion of the current prefix
+// (types before i chosen, types i.. free) is covered by the running
+// frontier, using the monotone lower bounds on time and energy.
+func (e *fastEngine) pruneBound(i int, partialRate, partialMinEPU float64) bool {
+	if len(e.runT) == 0 {
+		return false
+	}
+	ub := partialRate + e.maxRateSuffix[i]
+	if !(ub > 0) {
+		return false
+	}
+	tLB := e.jobUnits / ub * (1 - boundSlack)
+	mEPU := partialMinEPU
+	if s := e.minEPUSuffix[i]; s < mEPU {
+		mEPU = s
+	}
+	if math.IsInf(mEPU, 1) {
+		return false
+	}
+	eLB := e.jobUnits * mEPU * (1 - boundSlack)
+	return e.covered(tLB, eLB)
+}
+
+func (e *fastEngine) rec(i, depth int, partialRate, partialMinEPU float64) {
+	if i == len(e.limits) {
+		if depth > 0 {
+			e.leaf()
+		}
+		return
+	}
+	if !e.noPrune && e.pruneBound(i, partialRate, partialMinEPU) {
+		n := e.suffixSpace[i]
+		if depth == 0 {
+			n-- // the all-skip completion is not a configuration
+		}
+		if n > 0 {
+			e.nPruned += n
+			e.pr.Add(n)
+		}
+		return
+	}
+	// Skip this type, as Enumerate does first.
+	e.rec(i+1, depth, partialRate, partialMinEPU)
+	for j, g := range e.choices[i] {
+		uc := e.calcs[i][j]
+		if !uc.Supported && e.filter == nil {
+			// Every completion fails evaluation on the missing demand
+			// vector; account the whole subtree as skipped. (With a
+			// Filter installed the walk must continue so filtered
+			// configurations are counted as filtered, as on the
+			// reference path.)
+			n := e.suffixSpace[i+1]
+			e.nSkipped += n
+			e.pr.Add(n)
+			continue
+		}
+		e.cur[i] = curSel{on: true, g: g, uc: uc}
+		rate := partialRate + uc.NodeRate*float64(g.Count)
+		mEPU := partialMinEPU
+		if uc.Supported && uc.EnergyPerUnit < mEPU {
+			mEPU = uc.EnergyPerUnit
+		}
+		e.rec(i+1, depth+1, rate, mEPU)
+		e.cur[i].on = false
+	}
+}
+
+func (e *fastEngine) buildConfig() cluster.Config {
+	groups := make([]cluster.Group, 0, len(e.limits))
+	for _, ti := range e.byRank {
+		if e.cur[ti].on {
+			groups = append(groups, e.cur[ti].g)
+		}
+	}
+	// Groups are pre-validated by enumeration and appended in node-type
+	// name order, so this is already the canonical NewConfig form.
+	return cluster.Config{Groups: groups}
+}
+
+func (e *fastEngine) leaf() {
+	gcs := e.gcsBuf[:0]
+	for _, ti := range e.byRank {
+		if e.cur[ti].on {
+			gcs = append(gcs, model.GroupCalc{Calc: e.cur[ti].uc, Count: e.cur[ti].g.Count})
+		}
+	}
+	if e.filter != nil {
+		if !e.filter(e.buildConfig()) {
+			e.nFiltered++
+			e.pr.Tick()
+			return
+		}
+	}
+	fr, ok := e.table.EvaluateCalcs(gcs)
+	if !ok {
+		e.nSkipped++
+		e.pr.Tick()
+		return
+	}
+	e.nEvaluated++
+	e.pr.Tick()
+	if len(e.runT) > 0 && e.covered(float64(fr.Time), float64(fr.Energy)) {
+		return
+	}
+	e.batch = append(e.batch, Point{Config: e.buildConfig(), Time: fr.Time, Energy: fr.Energy})
+	if len(e.batch) >= fastFoldChunk {
+		e.fold()
+	}
+}
+
+func (e *fastEngine) fold() {
+	if len(e.batch) == 0 {
+		return
+	}
+	e.survivors = plainFrontier(append(e.survivors, e.batch...))
+	e.batch = e.batch[:0]
+	e.runT = e.runT[:0]
+	e.runE = e.runE[:0]
+	type te struct{ t, en float64 }
+	pts := make([]te, len(e.survivors))
+	for i, p := range e.survivors {
+		pts[i] = te{float64(p.Time), float64(p.Energy)}
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].t < pts[b].t })
+	for _, p := range pts {
+		if n := len(e.runT); n > 0 && e.runT[n-1] == p.t {
+			continue // same time class, equal energy by non-domination
+		}
+		e.runT = append(e.runT, p.t)
+		e.runE = append(e.runE, p.en)
+	}
+}
+
+// plainFrontier keeps every point not strictly dominated by another
+// (no noise epsilon), preserving input order and exact duplicates. It
+// is the compaction step of the fast sweep: the final epsilon-aware
+// Frontier runs once over its output.
+func plainFrontier(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.Time != pb.Time {
+			return pa.Time < pb.Time
+		}
+		return pa.Energy < pb.Energy
+	})
+	keep := make([]bool, len(pts))
+	minPrev := math.Inf(1) // min energy over strictly earlier time classes
+	i := 0
+	for i < len(idx) {
+		j := i
+		classMin := math.Inf(1)
+		for j < len(idx) && pts[idx[j]].Time == pts[idx[i]].Time {
+			if en := float64(pts[idx[j]].Energy); en < classMin {
+				classMin = en
+			}
+			j++
+		}
+		for k := i; k < j; k++ {
+			en := float64(pts[idx[k]].Energy)
+			// Dominated by an earlier (strictly faster) class, or by a
+			// strictly cheaper same-time point.
+			if minPrev <= en || en > classMin {
+				continue
+			}
+			keep[idx[k]] = true
+		}
+		if classMin < minPrev {
+			minPrev = classMin
+		}
+		i = j
+	}
+	out := make([]Point, 0, len(pts))
+	for i, p := range pts {
+		if keep[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// frontierSweepFast is the memoized closed-form sweep behind
+// FrontierSweep: identical results to the reference path, orders of
+// magnitude faster. Single-threaded by design — the per-configuration
+// cost is tens of nanoseconds, far below fan-out overhead.
+func frontierSweepFast(limits []cluster.Limit, wl *workload.Profile, opt model.Options, sw SweepOptions) ([]Point, error) {
+	span := telemetry.StartSpan("pareto.frontier_sweep").
+		Arg("workload", wl.Name).Arg("engine", "fast")
+	defer span.End()
+	if err := cluster.ValidateLimits(limits); err != nil {
+		return nil, err
+	}
+	reg := telemetry.Global()
+	evaluated := reg.Counter("pareto.configs_evaluated")
+	skipped := reg.Counter("pareto.configs_skipped")
+	filtered := reg.Counter("pareto.configs_filtered")
+	pruned := reg.Counter("pareto.configs_pruned")
+
+	if wl.Validate() != nil {
+		// The reference path skips every configuration when the profile
+		// is invalid (model.Evaluate fails each one); mirror its
+		// accounting without walking the space one leaf at a time.
+		n := int64(cluster.SpaceSize(limits))
+		if n > 0 {
+			skipped.Add(uint64(n))
+			sw.Progress.Add(n)
+		}
+		sw.Progress.Done()
+		return nil, nil
+	}
+
+	table := model.NewTable(wl, opt)
+	e := newFastEngine(limits, table, sw)
+	e.rec(0, 0, 0, math.Inf(1))
+	e.fold()
+
+	out := Frontier(e.survivors)
+	for i := range out {
+		if res, err := table.Materialize(out[i].Config); err == nil {
+			out[i].Result = res
+		}
+	}
+
+	evaluated.Add(uint64(e.nEvaluated))
+	skipped.Add(uint64(e.nSkipped))
+	filtered.Add(uint64(e.nFiltered))
+	pruned.Add(uint64(e.nPruned))
+	span.Arg("evaluated", e.nEvaluated).Arg("pruned", e.nPruned)
+	sw.Progress.Done()
+	return out, nil
+}

@@ -21,8 +21,19 @@ type SweepOptions struct {
 	Progress *telemetry.Progress
 	// Filter, when non-nil, prunes configurations before evaluation
 	// (e.g. a peak-power budget): configurations it rejects are counted
-	// and ticked but never reach the model.
+	// and ticked but never reach the model. The fast engine must
+	// materialize a Config per candidate to apply it, so filtered
+	// sweeps trade some of the allocation-free speedup for the budget
+	// check.
 	Filter func(cluster.Config) bool
+	// NoPrune disables bound-based subtree pruning in the fast engine.
+	// The frontier is identical either way (pruned subtrees are provably
+	// outside it); the flag exists for A/B measurement and paranoia.
+	NoPrune bool
+	// Reference forces the preserved chunked-parallel reference sweep
+	// (one full model.Evaluate per configuration) instead of the
+	// memoized fast engine — the differential-testing baseline.
+	Reference bool
 }
 
 // sweepInstruments caches the registry lookups a sweep needs, so the
@@ -53,8 +64,8 @@ func newSweepInstruments() sweepInstruments {
 }
 
 // evalOne runs the model for one configuration, recording latency and
-// outcome. It returns nil for unsupported configurations.
-func (ins *sweepInstruments) evalOne(cfg cluster.Config, wl *workload.Profile, opt model.Options) *Point {
+// outcome. It returns ok=false for unsupported configurations.
+func (ins *sweepInstruments) evalOne(cfg cluster.Config, wl *workload.Profile, opt model.Options) (Point, bool) {
 	var began time.Time
 	if ins.enabled {
 		began = time.Now()
@@ -65,10 +76,10 @@ func (ins *sweepInstruments) evalOne(cfg cluster.Config, wl *workload.Profile, o
 	}
 	if err != nil {
 		ins.skipped.Inc()
-		return nil
+		return Point{}, false
 	}
 	ins.evaluated.Inc()
-	return &Point{Config: cfg, Time: res.Time, Energy: res.Energy, Result: res}
+	return Point{Config: cfg, Time: res.Time, Energy: res.Energy, Result: res}, true
 }
 
 // EvaluateParallel evaluates the model over the configurations with a
@@ -94,8 +105,8 @@ func evaluateParallel(configs []cluster.Config, wl *workload.Profile, opt model.
 	if workers == 1 {
 		out := make([]Point, 0, len(configs))
 		for _, cfg := range configs {
-			if p := ins.evalOne(cfg, wl, opt); p != nil {
-				out = append(out, *p)
+			if p, ok := ins.evalOne(cfg, wl, opt); ok {
+				out = append(out, p)
 			}
 			pr.Tick()
 		}
@@ -106,9 +117,15 @@ func evaluateParallel(configs []cluster.Config, wl *workload.Profile, opt model.
 		Arg("configs", len(configs)).Arg("workers", workers)
 	defer span.End()
 
-	// Fixed-slot results preserve input order and need no locking: each
-	// index is written by exactly one sweep.Blocks worker.
-	results := make([]*Point, len(configs))
+	// Fixed-slot value results preserve input order and need no locking
+	// (each index is written by exactly one sweep.Blocks worker) and no
+	// per-configuration Point heap allocation — the ok bit marks the
+	// skipped slots.
+	type slot struct {
+		p  Point
+		ok bool
+	}
+	results := make([]slot, len(configs))
 	sweep.Blocks(len(configs), workers, sweep.DefaultBlock, func(w, lo, hi int) {
 		var wspan *telemetry.Span
 		var began time.Time
@@ -118,7 +135,7 @@ func evaluateParallel(configs []cluster.Config, wl *workload.Profile, opt model.
 				Arg("lo", lo).Arg("hi", hi)
 		}
 		for i := lo; i < hi; i++ {
-			results[i] = ins.evalOne(configs[i], wl, opt)
+			results[i].p, results[i].ok = ins.evalOne(configs[i], wl, opt)
 			pr.Tick()
 		}
 		if ins.enabled {
@@ -128,28 +145,42 @@ func evaluateParallel(configs []cluster.Config, wl *workload.Profile, opt model.
 	})
 
 	out := make([]Point, 0, len(configs))
-	for _, p := range results {
-		if p != nil {
-			out = append(out, *p)
+	for i := range results {
+		if results[i].ok {
+			out = append(out, results[i].p)
 		}
 	}
 	return out
 }
 
-// FrontierForParallel is FrontierFor with parallel evaluation: it
-// enumerates the space, fans the model evaluations across workers in
-// chunks (bounding memory to the chunk size plus the running frontier),
-// and folds each chunk into the frontier.
+// FrontierForParallel is FrontierFor through the sweep engine. The
+// name predates the memoized fast path, which is single-threaded (its
+// per-configuration cost sits far below fan-out overhead); workers now
+// only matter for SweepOptions.Reference sweeps.
 func FrontierForParallel(limits []cluster.Limit, wl *workload.Profile, opt model.Options, workers int) ([]Point, error) {
 	return FrontierSweep(limits, wl, opt, SweepOptions{Workers: workers})
 }
 
-// FrontierSweep is the fully-instrumented frontier pipeline: chunked
-// parallel evaluation with optional pre-evaluation filtering and
-// progress reporting, plus a span per sweep. FrontierForParallel and the
-// CLIs are thin wrappers over it.
+// FrontierSweep is the instrumented frontier pipeline. By default it
+// runs the memoized closed-form engine (see fastsweep.go): unit-calc
+// table, allocation-free evaluation, bound-based subtree pruning —
+// with results identical, point for point, to evaluating the full
+// space through model.Evaluate. SweepOptions.Reference selects the
+// preserved chunked-parallel reference sweep instead.
 func FrontierSweep(limits []cluster.Limit, wl *workload.Profile, opt model.Options, sw SweepOptions) ([]Point, error) {
-	span := telemetry.StartSpan("pareto.frontier_sweep").Arg("workload", wl.Name)
+	if !sw.Reference {
+		return frontierSweepFast(limits, wl, opt, sw)
+	}
+	return frontierSweepReference(limits, wl, opt, sw)
+}
+
+// frontierSweepReference is the pre-memoization pipeline: chunked
+// parallel evaluation with optional pre-evaluation filtering and
+// progress reporting, plus a span per sweep. Kept as the differential
+// baseline the fast engine is tested and benchmarked against.
+func frontierSweepReference(limits []cluster.Limit, wl *workload.Profile, opt model.Options, sw SweepOptions) ([]Point, error) {
+	span := telemetry.StartSpan("pareto.frontier_sweep").
+		Arg("workload", wl.Name).Arg("engine", "reference")
 	defer span.End()
 	filtered := telemetry.Global().Counter("pareto.configs_filtered")
 	const chunk = 8192

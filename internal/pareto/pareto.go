@@ -47,29 +47,40 @@ func Frontier(points []Point) []Point {
 		}
 		return sorted[i].Energy < sorted[j].Energy
 	})
+	// Walk time classes explicitly and pick each class's lowest-energy
+	// representative (first on ties) rather than trusting the slice
+	// position after the sort: the head of the sorted slice used to be
+	// accepted unconditionally, so a leading point whose Time ties a
+	// strictly cheaper later point could never be displaced through the
+	// bestEnergy epsilon path (the same-Time branch skipped it). With
+	// NaN energies the comparator is not even a strict weak order, so
+	// position is no guarantee of minimality at the head.
 	var out []Point
 	bestEnergy := units.Joules(0)
-	lastTime := units.Seconds(-1)
-	for _, p := range sorted {
+	i := 0
+	for i < len(sorted) {
+		j := i
+		rep := i
+		for j < len(sorted) && sorted[j].Time == sorted[i].Time {
+			if sorted[j].Energy < sorted[rep].Energy {
+				rep = j
+			}
+			j++
+		}
+		p := sorted[rep]
 		if len(out) == 0 {
 			out = append(out, p)
 			bestEnergy = p.Energy
-			lastTime = p.Time
-			continue
-		}
-		if p.Time == lastTime {
-			// Same time, worse or equal energy: dominated or duplicate.
-			continue
-		}
-		// Require a real energy improvement: configurations that differ
-		// only by floating-point noise (e.g. 27 vs 32 identical nodes,
-		// whose per-unit energies are mathematically equal) must not
-		// ride onto the frontier through 1-ulp differences.
-		if float64(p.Energy) < float64(bestEnergy)*(1-1e-9) {
+		} else if float64(p.Energy) < float64(bestEnergy)*(1-1e-9) {
+			// Require a real energy improvement: configurations that
+			// differ only by floating-point noise (e.g. 27 vs 32
+			// identical nodes, whose per-unit energies are
+			// mathematically equal) must not ride onto the frontier
+			// through 1-ulp differences.
 			out = append(out, p)
 			bestEnergy = p.Energy
-			lastTime = p.Time
 		}
+		i = j
 	}
 	return out
 }

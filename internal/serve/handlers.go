@@ -455,28 +455,43 @@ func (s *Server) sweepFrontier(ctx context.Context, wlName string, limits []clus
 		configs = kept
 	}
 
-	points := make([]*pareto.Point, len(configs))
+	// The memoized table makes per-configuration evaluation an
+	// allocation-free combination of unit-calc entries (bitwise-equal
+	// to model.Evaluate); the full Result is materialized only for
+	// frontier survivors below. Value slots with an ok bit keep the
+	// fan-out lock-free without a heap Point per configuration.
+	table := model.NewTable(wl, model.Options{})
+	type slot struct {
+		p  pareto.Point
+		ok bool
+	}
+	points := make([]slot, len(configs))
 	err = sweep.BlocksContext(ctx, len(configs), s.cfg.Workers, sweep.DefaultBlock, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			res, err := model.Evaluate(configs[i], wl, model.Options{})
-			if err != nil {
+			fast, ok := table.EvaluateFast(configs[i])
+			if !ok {
 				continue // workload cannot run on this configuration
 			}
-			points[i] = &pareto.Point{Config: configs[i], Time: res.Time, Energy: res.Energy, Result: res}
+			points[i] = slot{p: pareto.Point{Config: configs[i], Time: fast.Time, Energy: fast.Energy}, ok: true}
 		}
 	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: frontier sweep: %w", err)
 	}
 	evaluated := make([]pareto.Point, 0, len(points))
-	for _, p := range points {
-		if p != nil {
-			evaluated = append(evaluated, *p)
+	for i := range points {
+		if points[i].ok {
+			evaluated = append(evaluated, points[i].p)
 		}
 	}
 	resp.Evaluated = len(evaluated)
 
 	frontier := pareto.Frontier(evaluated)
+	for i := range frontier {
+		if res, err := table.Materialize(frontier[i].Config); err == nil {
+			frontier[i].Result = res
+		}
+	}
 	resp.Frontier = make([]FrontierPoint, len(frontier))
 	for i, p := range frontier {
 		resp.Frontier[i] = frontierPoint(p)

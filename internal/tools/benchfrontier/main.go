@@ -1,0 +1,129 @@
+// Command benchfrontier turns `go test -bench` output for the frontier
+// sweep engine into the JSON summary committed as BENCH_frontier.json:
+// per-benchmark ns/op, B/op, allocs/op and the configs/s throughput
+// metric the sweep benchmarks report, plus the derived headline
+// speedups of the memoized engine over the preserved per-config
+// reference sweep. Invoked by `make bench-frontier`; reads the
+// benchmark output on stdin (or a file argument) and writes JSON to
+// stdout.
+//
+// Unlike benchjson's, the line regex here must accept a custom metric
+// between ns/op and B/op — the testing package prints ReportMetric
+// values there, so `... 5107762 ns/op 7122493 configs/s 2384 B/op ...`
+// is the expected shape.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one result row, with the optional configs/s custom
+// metric the sweep benchmarks emit via b.ReportMetric.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op` +
+		`(?:\s+([\d.eE+-]+) configs/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+type result struct {
+	Name          string  `json:"name"`
+	Iterations    int64   `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	ConfigsPerSec float64 `json:"configs_per_sec,omitempty"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+}
+
+type summary struct {
+	// Speedups pit the preserved per-configuration reference sweep
+	// (one model.Evaluate per point) against the memoized engine.
+	Speedups map[string]float64 `json:"speedups"`
+	Results  []result           `json:"results"`
+}
+
+func parse(r io.Reader) ([]result, error) {
+	var out []result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchfrontier: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		res := result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			res.ConfigsPerSec, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			res.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := io.Reader(os.Stdin)
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfrontier:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchfrontier:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfrontier: no benchmark lines on input")
+		os.Exit(1)
+	}
+
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	ratio := func(num, den string) (float64, bool) {
+		n, okN := byName[num]
+		d, okD := byName[den]
+		if !okN || !okD || d == 0 {
+			return 0, false
+		}
+		return n / d, true
+	}
+	speedups := map[string]float64{}
+	for out, pair := range map[string][2]string{
+		"frontier_sweep":         {"BenchmarkFrontierSweepReference", "BenchmarkFrontierSweepFast"},
+		"frontier_sweep_noprune": {"BenchmarkFrontierSweepReference", "BenchmarkFrontierSweepFastNoPrune"},
+		"evaluate":               {"BenchmarkEvaluateReference", "BenchmarkEvaluateFast"},
+	} {
+		if v, ok := ratio(pair[0], pair[1]); ok {
+			// Two significant digits: headline ratios, not benchstat.
+			speedups[out] = float64(int64(v*100+0.5)) / 100
+		}
+	}
+
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(summary{Speedups: speedups, Results: results}); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfrontier:", err)
+		os.Exit(1)
+	}
+}

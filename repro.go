@@ -172,10 +172,11 @@ func ProportionalityMetrics(cfg Config, wl *Workload) (Metrics, error) {
 	return a.Metrics(), nil
 }
 
-// ParetoFrontier enumerates the configuration space under limits,
-// evaluates the workload and returns the energy-deadline frontier.
+// ParetoFrontier sweeps the configuration space under limits with the
+// memoized frontier engine (DESIGN.md §12) and returns the
+// energy-deadline frontier.
 func ParetoFrontier(limits []Limit, wl *Workload) ([]ParetoPoint, error) {
-	return pareto.FrontierFor(limits, wl, model.Options{})
+	return pareto.FrontierSweep(limits, wl, model.Options{}, pareto.SweepOptions{})
 }
 
 // DefaultBudget returns the paper's 1 kW A9/K10 budget specification.
