@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race vet check ci serve-smoke bench bench-queueing bench-frontier reproduce examples fuzz fuzz-smoke golden clean
+.PHONY: all build test test-race race vet staticcheck check ci serve-smoke logs-demo bench bench-queueing bench-frontier reproduce examples fuzz fuzz-smoke golden clean
 
 all: build vet test
 
@@ -12,6 +12,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs honnef.co/go/tools when the binary is on PATH. CI
+# installs it on the runner; locally it is optional and skipped with a
+# pointer rather than failing the gate.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping" \
+			"(go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # check is the pre-commit gate: formatting, vet, build, tests, and the
 # epserve end-to-end smoke run.
@@ -28,6 +39,13 @@ check:
 # p99 above bound, or an unclean SIGTERM drain.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+# logs-demo boots epserve with debug-level JSON logs on an ephemeral
+# port, drives a short loadgen burst, and prints the structured access
+# logs — the quickest way to see the request-scoped observability
+# (request IDs, per-request attribution, slow-request sampling) live.
+logs-demo:
+	GO="$(GO)" sh scripts/logs_demo.sh
 
 test:
 	$(GO) test ./...
@@ -55,6 +73,7 @@ ci:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
+	$(MAKE) staticcheck
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/queueing/ ./internal/serve/ ./internal/replay/

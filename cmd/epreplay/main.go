@@ -10,7 +10,12 @@
 //
 //	epreplay -budget -shape diurnal -mean 0.35 -amplitude 0.3
 //	epreplay -mixes "32xA9,12xK10;25xA9,5xK10" -adaptive -slo 200ms
-//	epreplay -trace day.csv -format json -o replay.json
+//	epreplay -trace-file day.csv -format json -o replay.json
+//
+// Note the flag split: -trace-file names the utilization trace to
+// replay (CSV/JSON input), while the shared telemetry flag -trace
+// writes a Chrome trace-event file of this process's own execution
+// (Perfetto-loadable output). They are unrelated; see README.md.
 package main
 
 import (

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	epserve -addr :8080 [-inflight 16] [-queue 64] [-timeout 10s]
+//	        [-log-level debug] [-log-format json] [-slow-request 250ms]
+//
+// Every request is answered with an X-Request-ID header and summarized
+// by one structured access-log line carrying the same ID; /metrics
+// exports per-route latency histograms with request-ID exemplars and
+// /v1/debug/stats a JSON RED/SLO snapshot.
 //
 // SIGTERM or SIGINT drains in-flight requests (readiness flips first)
 // and exits 0 on a clean drain.
@@ -16,7 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -39,14 +45,20 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested ?timeout= (0 = 60s)")
 	workers := flag.Int("workers", 0, "sweep worker-pool width for /v1/frontier (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	slow := flag.Duration("slow-request", 0, "latency threshold for sampled slow-request warn logs (0 = 1s, negative disables)")
+	logs := cli.AddLogFlags(nil)
 	flag.Parse()
 
-	if err := run(*addr, *addrFile, *nodes, *wls, *inflight, *queue, *timeout, *maxTimeout, *workers, *drain); err != nil {
+	logger, err := logs.Logger(os.Stderr)
+	if err != nil {
+		cli.Fatal("epserve", err)
+	}
+	if err := run(*addr, *addrFile, *nodes, *wls, *inflight, *queue, *timeout, *maxTimeout, *workers, *drain, *slow, logger); err != nil {
 		cli.Fatal("epserve", err)
 	}
 }
 
-func run(addr, addrFile, nodesPath, wlsPath string, inflight, queue int, timeout, maxTimeout time.Duration, workers int, drain time.Duration) error {
+func run(addr, addrFile, nodesPath, wlsPath string, inflight, queue int, timeout, maxTimeout time.Duration, workers int, drain, slow time.Duration, logger *slog.Logger) error {
 	catalog, registry, err := cli.LoadEnvironment(nodesPath, wlsPath)
 	if err != nil {
 		return err
@@ -58,6 +70,8 @@ func run(addr, addrFile, nodesPath, wlsPath string, inflight, queue int, timeout
 		Catalog:        catalog,
 		Workloads:      registry,
 		Telemetry:      reg,
+		Logger:         logger,
+		SlowRequest:    slow,
 		MaxInflight:    inflight,
 		MaxQueue:       queue,
 		DefaultTimeout: timeout,
@@ -76,7 +90,8 @@ func run(addr, addrFile, nodesPath, wlsPath string, inflight, queue int, timeout
 	case err := <-errCh:
 		return err // listen failed before binding
 	case bound := <-addrCh:
-		log.Printf("epserve: listening on %s", bound)
+		logger.Info("epserve listening",
+			"addr", bound.String(), "build", serve.ReadBuildInfo().String())
 		if addrFile != "" {
 			if err := os.WriteFile(addrFile, []byte(bound.String()), 0o644); err != nil {
 				return fmt.Errorf("writing -addr-file: %w", err)
@@ -90,7 +105,7 @@ func run(addr, addrFile, nodesPath, wlsPath string, inflight, queue int, timeout
 	case err := <-errCh:
 		return err // server died on its own
 	case sig := <-sigCh:
-		log.Printf("epserve: %s received, draining (up to %s)", sig, drain)
+		logger.Info("epserve draining", "signal", sig.String(), "grace", drain.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
@@ -101,6 +116,6 @@ func run(addr, addrFile, nodesPath, wlsPath string, inflight, queue int, timeout
 	if err := <-errCh; err != nil {
 		return err
 	}
-	log.Printf("epserve: drained cleanly")
+	logger.Info("epserve drained cleanly")
 	return nil
 }

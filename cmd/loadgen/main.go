@@ -26,14 +26,15 @@ func main() {
 	paths := flag.String("paths", "", "comma-separated request paths (empty = built-in mix)")
 	failOn5xx := flag.Bool("fail-on-5xx", false, "exit non-zero if any request drew a 5xx response")
 	maxP99 := flag.Duration("max-p99", 0, "exit non-zero if client-side p99 latency exceeds this (0 = no bound)")
+	serverStats := flag.Bool("server-stats", true, "fetch /v1/debug/stats after the run and print the server-side per-route view")
 	flag.Parse()
 
-	if err := run(*url, *duration, *concurrency, *paths, *failOn5xx, *maxP99); err != nil {
+	if err := run(*url, *duration, *concurrency, *paths, *failOn5xx, *serverStats, *maxP99); err != nil {
 		cli.Fatal("loadgen", err)
 	}
 }
 
-func run(url string, duration time.Duration, concurrency int, rawPaths string, failOn5xx bool, maxP99 time.Duration) error {
+func run(url string, duration time.Duration, concurrency int, rawPaths string, failOn5xx, serverStats bool, maxP99 time.Duration) error {
 	cfg := loadgen.Config{
 		BaseURL:     strings.TrimRight(url, "/"),
 		Concurrency: concurrency,
@@ -47,6 +48,15 @@ func run(url string, duration time.Duration, concurrency int, rawPaths string, f
 		return err
 	}
 	fmt.Println(res)
+	if serverStats {
+		// Best-effort: an epserve predating /v1/debug/stats answers 404,
+		// which must not fail the run the client-side numbers cover.
+		if stats, err := loadgen.ServerStats(context.Background(), nil, cfg.BaseURL); err != nil {
+			fmt.Println("server    stats unavailable:", err)
+		} else {
+			fmt.Println(loadgen.FormatServerStats(stats))
+		}
+	}
 	if failOn5xx {
 		if n := res.Count5xx(); n > 0 {
 			return fmt.Errorf("%d requests drew a 5xx response", n)

@@ -1,0 +1,44 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"log/slog"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// LogFlags carries the shared structured-logging flags (-log-level,
+// -log-format) of the CLI tools. The same pair configures every binary,
+// so "give me debug logs as JSON" is spelled identically on epserve,
+// loadgen and the batch tools.
+type LogFlags struct {
+	// Level is the minimum level emitted: debug, info, warn or error.
+	Level string
+	// Format is the handler: text (logfmt-style, the default) or json.
+	Format string
+}
+
+// AddLogFlags registers -log-level and -log-format on fs (nil means
+// flag.CommandLine) and returns the LogFlags that will hold them after
+// parsing.
+func AddLogFlags(fs *flag.FlagSet) *LogFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	l := &LogFlags{}
+	fs.StringVar(&l.Level, "log-level", "info", "minimum log level: debug, info, warn or error")
+	fs.StringVar(&l.Format, "log-format", "text", "log format: text or json")
+	return l
+}
+
+// Logger builds the structured logger the flags describe, writing to w
+// (nil means stderr). The handler is the shared telemetry handler, so
+// records logged under a request-scoped context carry the request ID.
+func (l *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	if w == nil {
+		w = os.Stderr
+	}
+	return telemetry.NewLogger(w, l.Format, l.Level)
+}

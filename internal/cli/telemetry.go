@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
@@ -32,9 +33,20 @@ type Telemetry struct {
 	TracePath string
 	// PprofAddr, when set, serves net/http/pprof from Start to Close.
 	PprofAddr string
+	// Logger receives the lifecycle messages (pprof address, files
+	// written on Close); nil uses a plain text logger on stderr.
+	Logger *slog.Logger
 
 	reg *telemetry.Registry
 	ln  net.Listener
+}
+
+// log resolves the lifecycle logger.
+func (t *Telemetry) log() *slog.Logger {
+	if t.Logger != nil {
+		return t.Logger
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 // AddTelemetryFlags registers the shared -metrics, -trace and -pprof
@@ -46,7 +58,7 @@ func AddTelemetryFlags(fs *flag.FlagSet) *Telemetry {
 	}
 	t := &Telemetry{}
 	fs.StringVar(&t.MetricsPath, "metrics", "", "write a JSON metrics snapshot to this file on exit")
-	fs.StringVar(&t.TracePath, "trace", "", "write a Chrome trace-event file (Perfetto-loadable) to this file on exit")
+	fs.StringVar(&t.TracePath, "trace", "", "write a Chrome trace-event file (Perfetto-loadable) to this file on exit; an execution-trace output, not epreplay's -trace-file replay input")
 	fs.StringVar(&t.PprofAddr, "pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 	return t
 }
@@ -69,7 +81,7 @@ func (t *Telemetry) Start() error {
 			return fmt.Errorf("cli: pprof: %w", err)
 		}
 		t.ln = ln
-		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", ln.Addr())
+		t.log().Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()))
 		go http.Serve(ln, nil) //nolint:errcheck // best-effort debug server
 	}
 	return nil
@@ -96,15 +108,15 @@ func (t *Telemetry) Close() error {
 		if err := writeTo(t.MetricsPath, reg.WriteJSON); err != nil {
 			return fmt.Errorf("cli: metrics: %w", err)
 		}
-		fmt.Fprintln(os.Stderr, "metrics: wrote", t.MetricsPath)
+		t.log().Info("metrics snapshot written", "path", t.MetricsPath)
 	}
 	if t.TracePath != "" {
 		if err := writeTo(t.TracePath, reg.Tracer().WriteChromeTrace); err != nil {
 			return fmt.Errorf("cli: trace: %w", err)
 		}
-		fmt.Fprintln(os.Stderr, "trace: wrote", t.TracePath)
+		t.log().Info("chrome trace written", "path", t.TracePath)
 		if d := reg.Tracer().Dropped(); d > 0 {
-			fmt.Fprintf(os.Stderr, "trace: %d spans dropped past the event cap\n", d)
+			t.log().Warn("trace spans dropped past the event cap", "dropped", d)
 		}
 	}
 	return nil

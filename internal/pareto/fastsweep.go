@@ -368,6 +368,7 @@ func frontierSweepFast(limits []cluster.Limit, wl *workload.Profile, opt model.O
 	span := telemetry.StartSpan("pareto.frontier_sweep").
 		Arg("workload", wl.Name).Arg("engine", "fast")
 	defer span.End()
+	defer sw.Request.Phase("pareto.frontier_sweep")()
 	if err := cluster.ValidateLimits(limits); err != nil {
 		return nil, err
 	}
@@ -406,6 +407,9 @@ func frontierSweepFast(limits []cluster.Limit, wl *workload.Profile, opt model.O
 	skipped.Add(uint64(e.nSkipped))
 	filtered.Add(uint64(e.nFiltered))
 	pruned.Add(uint64(e.nPruned))
+	sw.Request.Add(telemetry.AttrConfigsEvaluated, e.nEvaluated)
+	sw.Request.Add(telemetry.AttrConfigsFiltered, e.nFiltered)
+	sw.Request.Add(telemetry.AttrConfigsPruned, e.nPruned)
 	span.Arg("evaluated", e.nEvaluated).Arg("pruned", e.nPruned)
 	sw.Progress.Done()
 	return out, nil

@@ -34,6 +34,12 @@ type SweepOptions struct {
 	// (one full model.Evaluate per configuration) instead of the
 	// memoized fast engine — the differential-testing baseline.
 	Reference bool
+	// Request, when non-nil, receives request-scoped attribution
+	// (configurations evaluated/pruned/filtered and the sweep phase on
+	// the request timeline) beside the process-global pareto.* counters.
+	// Request-serving callers set it from telemetry.RequestFrom(ctx);
+	// batch CLIs leave it nil.
+	Request *telemetry.RequestContext
 }
 
 // sweepInstruments caches the registry lookups a sweep needs, so the
@@ -182,6 +188,7 @@ func frontierSweepReference(limits []cluster.Limit, wl *workload.Profile, opt mo
 	span := telemetry.StartSpan("pareto.frontier_sweep").
 		Arg("workload", wl.Name).Arg("engine", "reference")
 	defer span.End()
+	defer sw.Request.Phase("pareto.frontier_sweep")()
 	filtered := telemetry.Global().Counter("pareto.configs_filtered")
 	const chunk = 8192
 	var frontier []Point
@@ -191,12 +198,14 @@ func frontierSweepReference(limits []cluster.Limit, wl *workload.Profile, opt mo
 			return
 		}
 		pts := evaluateParallel(batch, wl, opt, sw.Workers, sw.Progress)
+		sw.Request.Add(telemetry.AttrConfigsEvaluated, int64(len(pts)))
 		frontier = Frontier(append(frontier, pts...))
 		batch = batch[:0]
 	}
 	err := cluster.Enumerate(limits, func(cfg cluster.Config) bool {
 		if sw.Filter != nil && !sw.Filter(cfg) {
 			filtered.Inc()
+			sw.Request.Add(telemetry.AttrConfigsFiltered, 1)
 			sw.Progress.Tick()
 			return true
 		}

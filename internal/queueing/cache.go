@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // M/D/1 is scale free in the service time: at fixed utilization rho the
@@ -65,9 +67,42 @@ type pctEntry struct {
 // new map nor inherit stale counts that would trigger spurious resets —
 // both observable as cache thrash (miss-counter inflation) under
 // concurrent serving load.
+//
+// The map is a plain Go map under an RWMutex rather than a sync.Map:
+// the hit path (the overwhelmingly common case under serving load —
+// every warm epserve percentile request lands here) is then a read-lock
+// plus a map lookup with zero allocations, where sync.Map.Load boxes
+// the 16-byte key into an interface on every call. The 0-alloc hit path
+// is asserted by a regression test, as epserve's request-scoped
+// observability depends on the kernel staying allocation-free when no
+// request attribution is attached.
 type pctGeneration struct {
-	m    sync.Map
+	mu   sync.RWMutex
+	m    map[pctKey]*pctEntry
 	size atomic.Int64
+}
+
+// lookup returns the entry for key, creating (and counting) it on miss.
+// loaded reports whether the entry already existed.
+func (g *pctGeneration) lookup(key pctKey) (e *pctEntry, loaded bool) {
+	g.mu.RLock()
+	e = g.m[key]
+	g.mu.RUnlock()
+	if e != nil {
+		return e, true
+	}
+	g.mu.Lock()
+	if e = g.m[key]; e != nil {
+		g.mu.Unlock()
+		return e, true
+	}
+	if g.m == nil {
+		g.m = make(map[pctKey]*pctEntry)
+	}
+	e = &pctEntry{}
+	g.m[key] = e
+	g.mu.Unlock()
+	return e, false
 }
 
 var pctCache atomic.Pointer[pctGeneration]
@@ -95,19 +130,22 @@ type normState struct {
 
 // cachedNormalizedPercentile returns the normalized wait percentile
 // w(rho, target) for the queue MD1{Lambda: rho, D: 1}, memoized across
-// the process. st may be nil (single query) or shared batch state.
-// Callers must have handled the zero atom (target <= 1-rho) already.
-func cachedNormalizedPercentile(rho, target float64, st *normState) (float64, error) {
+// the process. st may be nil (single query) or shared batch state; rc,
+// when non-nil, receives the request-scoped hit/miss attribution beside
+// the process-global counters (epserve's access log reports the cache
+// behavior of each individual request from it).
+func cachedNormalizedPercentile(rho, target float64, st *normState, rc *telemetry.RequestContext) (float64, error) {
 	ins := instruments()
 	rhoQ := quantizeRho(rho)
 	key := pctKey{rho: rhoQ, target: math.Float64bits(target)}
 	gen := pctCache.Load()
-	e := &pctEntry{}
-	if got, loaded := gen.m.LoadOrStore(key, e); loaded {
-		e = got.(*pctEntry)
+	e, loaded := gen.lookup(key)
+	if loaded {
 		ins.cacheHits.Inc()
+		rc.Add(telemetry.AttrCacheHits, 1)
 	} else {
 		ins.cacheMisses.Inc()
+		rc.Add(telemetry.AttrCacheMisses, 1)
 		if gen.size.Add(1) > pctCacheMaxEntries {
 			resetPercentileCache()
 		}

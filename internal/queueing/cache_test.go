@@ -134,6 +134,41 @@ func TestPercentileCacheConcurrent(t *testing.T) {
 	}
 }
 
+// TestPercentileCacheHitPathZeroAlloc: a warm percentile query with no
+// request scope attached must not allocate. The request-scoped
+// observability layer rides on this — epserve attributes cache hits into
+// a RequestContext only when one is present, and the unscoped kernel
+// path (batch sweeps, CLI tools) has to stay allocation-free.
+func TestPercentileCacheHitPathZeroAlloc(t *testing.T) {
+	telemetry.SetGlobal(nil) // nil-registry no-op instruments, as in CLI default
+	resetPercentileCache()
+	defer resetPercentileCache()
+
+	q := MD1{Lambda: 0.847213 / 3.5, D: 3.5}        // rho = 0.847213
+	if _, err := q.WaitPercentile(99); err != nil { // warm the memo
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := q.WaitPercentile(99); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm WaitPercentile allocated %.1f times per call, want 0", allocs)
+	}
+
+	// The raw cache hit path itself (what every warm query reduces to)
+	// must also be 0-alloc with a nil RequestContext.
+	allocs = testing.AllocsPerRun(1000, func() {
+		if _, err := cachedNormalizedPercentile(0.847213, 0.99, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm cachedNormalizedPercentile allocated %.1f times per call, want 0", allocs)
+	}
+}
+
 // TestPercentileCacheResetOnOverflow: filling past the bound drops the
 // map instead of growing without limit, and queries keep answering.
 func TestPercentileCacheResetOnOverflow(t *testing.T) {

@@ -176,7 +176,12 @@ func (q MD1) WaitPercentile(p float64) (float64, error) {
 	}
 	ins := instruments()
 	ins.searches.Inc()
-	span := ins.tracer.Start("queueing.wait_percentile").Arg("p", p)
+	span := ins.tracer.Start("queueing.wait_percentile")
+	if span != nil {
+		// Attach only on a live span: boxing p into `any` unconditionally
+		// would cost the warm hit path its zero-allocation guarantee.
+		span.Arg("p", p)
+	}
 	defer span.End()
 	target := p / 100
 	rho := q.Rho()
@@ -184,7 +189,7 @@ func (q MD1) WaitPercentile(p float64) (float64, error) {
 	if 1-rho >= target {
 		return 0, nil
 	}
-	w, err := cachedNormalizedPercentile(rho, target, nil)
+	w, err := cachedNormalizedPercentile(rho, target, nil, nil)
 	if err != nil {
 		return 0, err
 	}

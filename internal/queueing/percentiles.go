@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"repro/internal/telemetry"
 )
 
 // WaitPercentiles returns the waiting-time percentiles for every p in ps
@@ -35,6 +37,12 @@ func (q MD1) WaitPercentilesContext(ctx context.Context, ps []float64) ([]float6
 	ins := instruments()
 	span := ins.tracer.Start("queueing.wait_percentiles").Arg("n", len(ps))
 	defer span.End()
+	// Request-scoped callers (the epserve handlers) carry a
+	// RequestContext in ctx; resolve it once per batch so every cache
+	// lookup below attributes to the owning request. Nil outside a
+	// request scope, where Add/Phase are no-ops.
+	rc := telemetry.RequestFrom(ctx)
+	defer rc.Phase("queueing.percentiles")()
 
 	order := make([]int, len(ps))
 	for i := range order {
@@ -55,7 +63,7 @@ func (q MD1) WaitPercentilesContext(ctx context.Context, ps []float64) ([]float6
 			out[idx] = 0
 			continue
 		}
-		w, err := cachedNormalizedPercentile(rho, target, st)
+		w, err := cachedNormalizedPercentile(rho, target, st, rc)
 		if err != nil {
 			return nil, err
 		}

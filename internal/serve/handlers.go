@@ -19,6 +19,7 @@ import (
 	"repro/internal/queueing"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -209,9 +210,10 @@ func (s *Server) handlePercentiles(w http.ResponseWriter, r *http.Request) {
 	})
 	if shared {
 		s.ins.coalesced.Inc()
+		telemetry.RequestFrom(r.Context()).Add(telemetry.AttrCoalesced, 1)
 	}
 	if err != nil {
-		s.computeError(w, err)
+		s.computeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -420,9 +422,10 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	})
 	if shared {
 		s.ins.coalesced.Inc()
+		telemetry.RequestFrom(r.Context()).Add(telemetry.AttrCoalesced, 1)
 	}
 	if err != nil {
-		s.computeError(w, err)
+		s.computeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -432,6 +435,11 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 // evaluates the survivors across the sweep pool under ctx, and folds
 // the results into the frontier and sweet region.
 func (s *Server) sweepFrontier(ctx context.Context, wlName string, limits []cluster.Limit, powerW, deadline, energy float64) (*FrontierResponse, error) {
+	// On the singleflight leader's request the sweep is attributed to its
+	// RequestContext (followers only record coalesced=1); nil-safe
+	// no-ops otherwise.
+	rc := telemetry.RequestFrom(ctx)
+	defer rc.Phase("serve.frontier_sweep")()
 	wl, err := s.cfg.Workloads.Lookup(wlName)
 	if err != nil {
 		return nil, err
@@ -452,6 +460,7 @@ func (s *Server) sweepFrontier(ctx context.Context, wlName string, limits []clus
 			}
 		}
 		resp.Filtered = len(configs) - len(kept)
+		rc.Add(telemetry.AttrConfigsFiltered, int64(resp.Filtered))
 		configs = kept
 	}
 
@@ -485,6 +494,7 @@ func (s *Server) sweepFrontier(ctx context.Context, wlName string, limits []clus
 		}
 	}
 	resp.Evaluated = len(evaluated)
+	rc.Add(telemetry.AttrConfigsEvaluated, int64(resp.Evaluated))
 
 	frontier := pareto.Frontier(evaluated)
 	for i := range frontier {
@@ -555,9 +565,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // context errors (deadline, disconnect) become 504, everything else
 // 400 — by the time computation starts, inputs were syntactically valid,
 // so remaining failures are semantic (e.g. unstable queue).
-func (s *Server) computeError(w http.ResponseWriter, err error) {
+func (s *Server) computeError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		s.deadlineError(w, err)
+		s.deadlineError(w, r, err)
 		return
 	}
 	writeError(w, http.StatusBadRequest, "bad_request", err.Error())

@@ -7,6 +7,7 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +16,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/serve"
 )
 
 // Config parameterizes a load run.
@@ -113,6 +116,66 @@ func (r *Result) String() string {
 		r.Latency(95).Round(time.Microsecond),
 		r.Latency(99).Round(time.Microsecond))
 	return b.String()
+}
+
+// ServerStats fetches the target's /v1/debug/stats snapshot — the
+// server-side view of the run just driven (per-route RED, SLO standing,
+// build identity), complementing Result's client-side percentiles.
+// client nil uses a client with a 10s timeout.
+func ServerStats(ctx context.Context, client *http.Client, baseURL string) (*serve.DebugStatsResponse, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(baseURL, "/")+"/v1/debug/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /v1/debug/stats returned %s", resp.Status)
+	}
+	var stats serve.DebugStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding /v1/debug/stats: %w", err)
+	}
+	return &stats, nil
+}
+
+// FormatServerStats renders the server-side summary printed after a
+// run: the build line, then one line per route that actually served
+// requests, with latency percentiles and SLO compliance.
+func FormatServerStats(stats *serve.DebugStatsResponse) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "server    %s, uptime %s, inflight %.0f",
+		stats.Build, (time.Duration(stats.UptimeSeconds * float64(time.Second))).Round(time.Second), stats.Inflight)
+	routes := make([]string, 0, len(stats.Routes))
+	for route, rs := range stats.Routes {
+		if rs.Requests > 0 {
+			routes = append(routes, route)
+		}
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		rs := stats.Routes[route]
+		fmt.Fprintf(&b, "\n  %-12s %d reqs", route, rs.Requests)
+		if l := rs.Latency; l != nil {
+			fmt.Fprintf(&b, "  p50 %s p95 %s p99 %s",
+				secondsDuration(l.P50Seconds), secondsDuration(l.P95Seconds), secondsDuration(l.P99Seconds))
+		}
+		if rs.SLO != nil {
+			fmt.Fprintf(&b, "  slo %.4f (budget used %.2f)", rs.SLO.Compliance, rs.SLO.BudgetUsed)
+		}
+	}
+	return b.String()
+}
+
+func secondsDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
 }
 
 // Run drives the load: Concurrency workers issue the Paths mix

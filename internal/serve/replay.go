@@ -13,6 +13,7 @@ import (
 	"repro/internal/energyprop"
 	"repro/internal/loadtrace"
 	"repro/internal/replay"
+	"repro/internal/telemetry"
 )
 
 // maxReplayBody bounds a /v1/replay request body; a maximum-size
@@ -213,7 +214,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	res, err := replay.Run(r.Context(), cands, tr, opt)
 	if err != nil {
 		if !streaming {
-			s.computeError(w, err)
+			s.computeError(w, r, err)
 			return
 		}
 		// The 200 is on the wire; the error line is the only way to tell
@@ -223,6 +224,9 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			code = "deadline_exceeded"
 			s.ins.deadlineExceeded.Inc()
 		}
+		// The access log still shows status 200 (already sent); the
+		// outcome field is where the truncation becomes visible.
+		telemetry.RequestFrom(r.Context()).SetOutcome("stream_" + code)
 		emit(replayErrorLine{Error: errorBody{Code: code, Message: err.Error()}}) //nolint:errcheck // client gone
 		return
 	}

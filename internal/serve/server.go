@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -47,6 +48,20 @@ type Config struct {
 	// nil uses the process-global registry at construction time (which
 	// may itself be nil, disabling collection but not the service).
 	Telemetry *telemetry.Registry
+	// Logger receives the service's structured logs: one access-log line
+	// per request, sampled slow-request lines, and lifecycle events. nil
+	// disables logging (matching the rest of the telemetry stack, which
+	// is off until explicitly enabled). The handler is wrapped so that
+	// request-scoped records automatically carry the request ID.
+	Logger *slog.Logger
+	// SlowRequest is the latency threshold past which a finished request
+	// is logged at warn level with its phase timeline (sampled to at most
+	// one line per route per second); 0 means 1s, negative disables.
+	SlowRequest time.Duration
+	// SLOTargets overrides the per-route latency objectives, keyed by
+	// route label ("percentiles", "frontier", ...); nil uses
+	// DefaultSLOTargets. Routes absent from the map get no SLO tracking.
+	SLOTargets map[string]SLOTarget
 
 	// MaxInflight bounds concurrently executing model requests;
 	// 0 means 2*GOMAXPROCS (the endpoints are CPU-bound, so admitting
@@ -109,6 +124,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxReplaySteps <= 0 {
 		c.MaxReplaySteps = 1 << 16
 	}
+	if c.Logger == nil {
+		c.Logger = telemetry.DiscardLogger()
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = time.Second
+	}
+	if c.SLOTargets == nil {
+		c.SLOTargets = DefaultSLOTargets()
+	}
 	return c, nil
 }
 
@@ -123,6 +147,13 @@ type Server struct {
 	mux      *http.ServeMux
 	hs       *http.Server
 	ready    atomic.Bool
+
+	logger        *slog.Logger
+	slowThreshold time.Duration
+	slos          map[string]*sloTracker
+	routes        []string // route labels in registration order
+	build         BuildInfo
+	started       time.Time
 }
 
 // New builds a Server from cfg (see Config for defaults).
@@ -131,8 +162,22 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, ins: newInstruments(cfg.Telemetry)}
+	s := &Server{
+		cfg:           cfg,
+		ins:           newInstruments(cfg.Telemetry),
+		slowThreshold: cfg.SlowRequest,
+		build:         ReadBuildInfo(),
+		started:       time.Now(),
+	}
+	// The configured handler is wrapped (idempotently) so request-scoped
+	// records always carry the request ID, whatever handler the caller
+	// built.
+	s.logger = slog.New(telemetry.NewContextHandler(cfg.Logger.Handler()))
 	s.lim = newLimiter(cfg.MaxInflight, cfg.MaxQueue, &s.ins)
+	s.slos = make(map[string]*sloTracker, len(cfg.SLOTargets))
+	for route, target := range cfg.SLOTargets {
+		s.slos[route] = newSLOTracker(cfg.Telemetry, route, target)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/percentiles", s.api("percentiles", s.handlePercentiles))
@@ -141,6 +186,8 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("/v1/replay", s.api("replay", s.handleReplay))
 	mux.Handle("/v1/healthz", s.probe("healthz", s.handleHealthz))
 	mux.Handle("/v1/readyz", s.probe("readyz", s.handleReadyz))
+	mux.Handle("/v1/version", s.probe("version", s.handleVersion))
+	mux.Handle("/v1/debug/stats", s.probe("debug_stats", s.handleDebugStats))
 	mux.Handle("/metrics", s.probe("metrics", cfg.Telemetry.PrometheusHandler().ServeHTTP))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -204,18 +251,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // api assembles the middleware chain of a model endpoint, outermost
-// first: per-route telemetry (so even shed requests are counted and
-// timed), panic recovery, the per-request deadline, then admission.
+// first: the request scope (request ID, access log, SLO accounting —
+// outermost so everything below shares its RequestContext), per-route
+// telemetry (so even shed requests are counted and timed, with the
+// request ID as exemplar), panic recovery, the per-request deadline,
+// then admission.
 func (s *Server) api(route string, h http.HandlerFunc) http.Handler {
+	s.routes = append(s.routes, route)
 	inner := s.deadline(s.admission(h))
-	return s.cfg.Telemetry.HTTPMiddleware(route, s.recovery(inner))
+	return s.requestScope(route, false,
+		s.cfg.Telemetry.HTTPMiddleware(route, s.recovery(inner)))
 }
 
-// probe assembles the chain of a health/metrics endpoint: telemetry and
-// panic recovery only — probes must keep answering under overload and
-// during drain, so they bypass admission and deadlines.
+// probe assembles the chain of a health/metrics endpoint: request
+// scope, telemetry and panic recovery only — probes must keep answering
+// under overload and during drain, so they bypass admission and
+// deadlines. Probe access logs sit at debug level so scrapes do not
+// drown the real traffic log.
 func (s *Server) probe(route string, h http.HandlerFunc) http.Handler {
-	return s.cfg.Telemetry.HTTPMiddleware(route, s.recovery(h))
+	s.routes = append(s.routes, route)
+	return s.requestScope(route, true,
+		s.cfg.Telemetry.HTTPMiddleware(route, s.recovery(h)))
 }
 
 // recovery converts a handler panic into a 500 response and counts it,
@@ -227,6 +283,7 @@ func (s *Server) recovery(next http.HandlerFunc) http.HandlerFunc {
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.ins.panics.Inc()
+				telemetry.RequestFrom(r.Context()).SetOutcome("panic")
 				writeError(w, http.StatusInternalServerError, "internal",
 					fmt.Sprintf("internal error: %v", rec))
 			}
@@ -268,12 +325,13 @@ func (s *Server) admission(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if err := s.lim.acquire(r.Context()); err != nil {
 			if errors.Is(err, errShed) {
+				telemetry.RequestFrom(r.Context()).SetOutcome("shed")
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusTooManyRequests, "overloaded",
 					"admission queue full, retry later")
 				return
 			}
-			s.deadlineError(w, err)
+			s.deadlineError(w, r, err)
 			return
 		}
 		defer s.lim.release()
@@ -281,9 +339,11 @@ func (s *Server) admission(next http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// deadlineError maps a context error to the 504 response and counter.
-func (s *Server) deadlineError(w http.ResponseWriter, err error) {
+// deadlineError maps a context error to the 504 response, counter and
+// request outcome.
+func (s *Server) deadlineError(w http.ResponseWriter, r *http.Request, err error) {
 	s.ins.deadlineExceeded.Inc()
+	telemetry.RequestFrom(r.Context()).SetOutcome("deadline")
 	msg := "request deadline exceeded"
 	if errors.Is(err, context.Canceled) {
 		msg = "request cancelled"
@@ -303,7 +363,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"service": "epserve",
 		"endpoints": []string{
 			"/v1/percentiles", "/v1/epmetrics", "/v1/frontier", "/v1/replay",
-			"/v1/healthz", "/v1/readyz", "/metrics", "/debug/pprof/",
+			"/v1/healthz", "/v1/readyz", "/v1/version", "/v1/debug/stats",
+			"/metrics", "/debug/pprof/",
 		},
 	})
 }

@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestBlocksContextRequestAttribution runs many concurrent
+// request-scoped sweeps of different sizes and asserts each request's
+// context receives exactly its own item count and phase — no bleed
+// between concurrently sweeping requests. Run with -race.
+func TestBlocksContextRequestAttribution(t *testing.T) {
+	const requests = 24
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		n := 100 + i*37 // distinct per-request sizes make bleed detectable
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rc := telemetry.NewRequestContext("", "frontier")
+			ctx := telemetry.WithRequest(context.Background(), rc)
+			var visited int64
+			var mu sync.Mutex
+			err := BlocksContext(ctx, n, 4, 16, func(_, lo, hi int) {
+				// Inside the pool the worker sees the owning request.
+				if telemetry.RequestFrom(ctx) != rc {
+					t.Error("worker ctx lost its RequestContext")
+				}
+				mu.Lock()
+				visited += int64(hi - lo)
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Errorf("BlocksContext: %v", err)
+			}
+			if got := rc.Attr(telemetry.AttrSweepItems); got != int64(n) || got != visited {
+				t.Errorf("sweep_items = %d, want %d (visited %d)", got, n, visited)
+			}
+			if events := rc.Timeline(); len(events) != 1 || events[0].Name != "sweep.blocks" {
+				t.Errorf("timeline %v, want one sweep.blocks phase", events)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBlocksContextUnscopedNoAttribution: without a request scope the
+// pool must not invent one.
+func TestBlocksContextUnscopedNoAttribution(t *testing.T) {
+	count := 0
+	if err := BlocksContext(context.Background(), 10, 1, 4, func(_, lo, hi int) {
+		count += hi - lo
+	}); err != nil {
+		t.Fatalf("BlocksContext: %v", err)
+	}
+	if count != 10 {
+		t.Fatalf("visited %d items, want 10", count)
+	}
+}
+
+// TestBlocksContextCancelledAttribution: a cancelled sweep attributes
+// only the items actually dispatched, not the full n.
+func TestBlocksContextCancelledAttribution(t *testing.T) {
+	rc := telemetry.NewRequestContext("", "frontier")
+	ctx, cancel := context.WithCancel(telemetry.WithRequest(context.Background(), rc))
+	cancel()
+	err := BlocksContext(ctx, 1000, 1, 16, func(_, lo, hi int) {})
+	if err == nil {
+		t.Fatal("cancelled BlocksContext returned nil")
+	}
+	if got := rc.Attr(telemetry.AttrSweepItems); got != 0 {
+		t.Fatalf("cancelled sweep attributed %d items, want 0", got)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // DefaultBlock is the block size used when callers pass block <= 0:
@@ -50,6 +52,20 @@ func BlocksContext(ctx context.Context, n, workers, block int, fn func(worker, l
 	if workers > nblocks {
 		workers = nblocks
 	}
+	// Request-scoped sweeps (epserve's frontier fan-out) attribute the
+	// items they dispatch and their wall-clock phase to the owning
+	// request. The RequestContext rides ctx into every worker through
+	// fn's closure — workers are shared across requests over time, but
+	// each dispatched block belongs to exactly one request's call, so
+	// attribution cannot bleed between concurrent requests.
+	rc := telemetry.RequestFrom(ctx)
+	dispatched := 0
+	if rc != nil {
+		defer func() {
+			rc.Add(telemetry.AttrSweepItems, int64(dispatched))
+		}()
+		defer rc.Phase("sweep.blocks")()
+	}
 	done := ctx.Done()
 	if workers == 1 {
 		for lo := 0; lo < n; lo += block {
@@ -63,6 +79,7 @@ func BlocksContext(ctx context.Context, n, workers, block int, fn func(worker, l
 				hi = n
 			}
 			fn(0, lo, hi)
+			dispatched += hi - lo
 		}
 		return nil
 	}
@@ -88,6 +105,7 @@ dispatch:
 		}
 		select {
 		case next <- [2]int{lo, hi}:
+			dispatched += hi - lo
 		case <-done:
 			err = ctx.Err()
 			break dispatch

@@ -17,6 +17,7 @@ var httpLatencyBounds = ExponentialBuckets(1e-5, 4, 10)
 type StatusRecorder struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 // NewStatusRecorder wraps w.
@@ -38,7 +39,21 @@ func (s *StatusRecorder) Write(p []byte) (int, error) {
 	if s.status == 0 {
 		s.status = http.StatusOK
 	}
-	return s.ResponseWriter.Write(p)
+	n, err := s.ResponseWriter.Write(p)
+	s.bytes += int64(n)
+	return n, err
+}
+
+// Bytes returns the number of body bytes written so far.
+func (s *StatusRecorder) Bytes() int64 { return s.bytes }
+
+// Flush forwards to the wrapped writer when it supports flushing, so
+// streaming handlers (NDJSON replay) keep their per-frame flushes
+// through the recorder.
+func (s *StatusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Status returns the recorded status code (200 if the handler never set
@@ -85,7 +100,10 @@ func (r *Registry) HTTPMiddleware(route string, next http.Handler) http.Handler 
 		rec := NewStatusRecorder(w)
 		began := time.Now()
 		next.ServeHTTP(rec, req)
-		ins.seconds.Observe(time.Since(began).Seconds())
+		// A request-scoped call stamps its request ID on the latency
+		// sample as an exemplar; RequestFrom returns nil (and ID "")
+		// outside the serve middleware, degrading to a plain observation.
+		ins.seconds.ObserveExemplar(time.Since(began).Seconds(), RequestFrom(req.Context()).ID())
 		span.Arg("status", rec.Status()).End()
 		if class := rec.Status()/100 - 1; class >= 0 && class < len(ins.status) {
 			ins.status[class].Inc()

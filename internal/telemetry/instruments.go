@@ -102,6 +102,23 @@ type Histogram struct {
 	sumBits atomic.Uint64
 	minBits atomic.Uint64 // +Inf until first observation
 	maxBits atomic.Uint64 // -Inf until first observation
+	// exemplars holds the latest labelled observation per bucket (see
+	// ObserveExemplar); cells are nil until a labelled observation lands.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar is one labelled observation attached to a histogram bucket:
+// the observed value plus the request ID that produced it, exported on
+// the OpenMetrics exposition so a latency bucket links back to a
+// concrete request's access-log line.
+type Exemplar struct {
+	// RequestID is the exemplar label (exported as request_id).
+	RequestID string `json:"request_id"`
+	// Value is the observed value.
+	Value float64 `json:"value"`
+	// Bucket is the index of the bucket the observation landed in (set
+	// on snapshot export; len(Bounds) means the overflow bucket).
+	Bucket int `json:"bucket"`
 }
 
 // NewHistogram builds a standalone histogram from ascending bucket
@@ -111,7 +128,11 @@ func NewHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	h := &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h := &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 	h.minBits.Store(math.Float64bits(math.Inf(1)))
 	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
 	return h
@@ -177,6 +198,40 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+}
+
+// ObserveExemplar counts v like Observe and additionally stores
+// (requestID, v) as the containing bucket's exemplar, replacing the
+// previous one — last-write-wins is the conventional exemplar policy,
+// and one atomic pointer swap keeps the labelled path nearly as cheap
+// as the plain one. An empty requestID degrades to Observe.
+func (h *Histogram) ObserveExemplar(v float64, requestID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if requestID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{RequestID: requestID, Value: v, Bucket: i})
+}
+
+// Exemplars returns the latest labelled observation per bucket, sparse:
+// only buckets that ever received one appear, in bucket order.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			ex := *e
+			ex.Bucket = i
+			out = append(out, ex)
+		}
+	}
+	return out
 }
 
 // Count returns the number of observations (0 on a nil histogram).

@@ -19,6 +19,9 @@ type HistogramSnapshot struct {
 	// with one trailing overflow cell.
 	Bounds  []float64 `json:"bounds,omitempty"`
 	Buckets []uint64  `json:"buckets,omitempty"`
+	// Exemplars holds the latest request-labelled observation per bucket
+	// (sparse; see Histogram.ObserveExemplar).
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every instrument in a registry.
@@ -57,16 +60,17 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
 		for name, h := range r.hists {
 			s.Histograms[name] = HistogramSnapshot{
-				Count:   h.Count(),
-				Sum:     h.Sum(),
-				Mean:    h.Mean(),
-				Min:     h.Min(),
-				Max:     h.Max(),
-				P50:     h.Quantile(0.50),
-				P95:     h.Quantile(0.95),
-				P99:     h.Quantile(0.99),
-				Bounds:  h.Bounds(),
-				Buckets: h.BucketCounts(),
+				Count:     h.Count(),
+				Sum:       h.Sum(),
+				Mean:      h.Mean(),
+				Min:       h.Min(),
+				Max:       h.Max(),
+				P50:       h.Quantile(0.50),
+				P95:       h.Quantile(0.95),
+				P99:       h.Quantile(0.99),
+				Bounds:    h.Bounds(),
+				Buckets:   h.BucketCounts(),
+				Exemplars: h.Exemplars(),
 			}
 		}
 	}

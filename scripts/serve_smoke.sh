@@ -66,6 +66,27 @@ if grep -E '^http_[a-z_]+_status_5xx [1-9]' "$metrics"; then
 fi
 echo "   $(wc -l <"$metrics") exposition lines, no 5xx recorded"
 
+echo "== request-scoped observability"
+if command -v curl >/dev/null 2>&1; then
+    hdrs="$workdir/headers.txt"
+    curl -fsS -D "$hdrs" -o /dev/null -H 'X-Request-ID: smoke-check-1' \
+        "$URL/v1/percentiles?d=1&u=0.9"
+    grep -qi '^x-request-id: smoke-check-1' "$hdrs" || {
+        echo "X-Request-ID response header missing or not echoed:"
+        cat "$hdrs"; exit 1; }
+    grep -q 'request_id=smoke-check-1' "$workdir/epserve.log" || {
+        echo "no access-log line for request smoke-check-1:"
+        tail -20 "$workdir/epserve.log"; exit 1; }
+else
+    # scripts/fetch is body-only; fall back to asserting the access log
+    # alone (every load-run request must have produced one line).
+    echo "   curl unavailable; checking access log only"
+fi
+grep -q 'msg=request .*route=percentiles .*request_id=' "$workdir/epserve.log" || {
+    echo "no structured access-log lines in epserve.log:"
+    tail -20 "$workdir/epserve.log"; exit 1; }
+echo "   access log and X-Request-ID verified"
+
 echo "== graceful drain on SIGTERM"
 kill -TERM "$server_pid"
 for _ in $(seq 1 100); do
