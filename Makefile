@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race vet staticcheck check ci serve-smoke logs-demo bench bench-queueing bench-frontier reproduce examples fuzz fuzz-smoke golden clean
+.PHONY: all build test test-race race vet staticcheck check ci serve-smoke logs-demo bench bench-queueing bench-frontier bench-serve bench-serve-smoke reproduce examples fuzz fuzz-smoke golden clean
 
 all: build vet test
 
@@ -80,6 +80,7 @@ ci:
 	$(GO) test -run TestTableDifferentialPaperSpace ./internal/model/
 	$(GO) test -race -short -run 'TestFastSweep|TestFrontier' ./internal/pareto/
 	$(MAKE) serve-smoke
+	$(MAKE) bench-serve-smoke
 	$(MAKE) fuzz-smoke
 
 # One benchmark iteration per experiment: regenerates every table/figure
@@ -107,6 +108,18 @@ bench-frontier:
 		-benchmem -run '^$$' ./internal/pareto/ | tee bench_frontier.out
 	$(GO) run ./internal/tools/benchfrontier bench_frontier.out > BENCH_frontier.json
 	@echo wrote BENCH_frontier.json
+
+# Serving-capacity benchmark: boots epserve in-process and binary-
+# searches the max sustained open-loop arrival rate at the p99 SLO for
+# scalar GETs versus 64-item batch POSTs, distilled into
+# BENCH_serve.json (headline: batch per-item throughput multiple).
+# bench-serve-smoke is the CI variant — short probes, capped search —
+# proving the harness end to end without chasing stable numbers.
+bench-serve:
+	$(GO) run ./internal/tools/benchserve -out BENCH_serve.json
+
+bench-serve-smoke:
+	$(GO) run ./internal/tools/benchserve -probe 250ms -smoke > /dev/null
 
 # Regenerate every table, figure, extension study and SUMMARY.txt.
 reproduce:

@@ -1,11 +1,21 @@
-// Command loadgen drives closed-loop HTTP load against a running
-// epserve instance and prints status-code counts and latency
-// percentiles. With -fail-on-5xx it exits non-zero if any request drew
-// a 5xx — the `make serve-smoke` gate.
+// Command loadgen drives HTTP load against a running epserve instance
+// and prints status-code counts and latency percentiles. The default is
+// a closed loop (workers issue requests back-to-back); -rate switches
+// to an open loop with fixed arrivals per second and
+// coordinated-omission-safe latency (measured from each request's
+// scheduled arrival), printing the achieved versus offered rate. With
+// -fail-on-5xx it exits non-zero if any request drew a 5xx — the
+// `make serve-smoke` gate. -body turns every target into a POST with
+// that JSON body, for driving the batch endpoints; per-item batch
+// errors are reported separately from non-2xx responses and transport
+// errors.
 //
 // Usage:
 //
 //	loadgen -url http://127.0.0.1:8080 -duration 5s -concurrency 16 -fail-on-5xx
+//	loadgen -url http://127.0.0.1:8080 -rate 500 -paths /v1/percentiles?d=1&u=0.9
+//	loadgen -url http://127.0.0.1:8080 -rate 50 -paths /v1/percentiles \
+//	        -body '{"u":[0.5,0.9],"items":[{"d":1}]}'
 package main
 
 import (
@@ -22,26 +32,39 @@ import (
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8080", "epserve base URL")
 	duration := flag.Duration("duration", 5*time.Second, "how long to drive load")
-	concurrency := flag.Int("concurrency", 16, "closed-loop worker count")
+	concurrency := flag.Int("concurrency", 16, "worker count (max in-flight in open-loop mode)")
+	rate := flag.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
 	paths := flag.String("paths", "", "comma-separated request paths (empty = built-in mix)")
+	body := flag.String("body", "", "JSON body: every target becomes a POST carrying it (batch endpoints)")
 	failOn5xx := flag.Bool("fail-on-5xx", false, "exit non-zero if any request drew a 5xx response")
 	maxP99 := flag.Duration("max-p99", 0, "exit non-zero if client-side p99 latency exceeds this (0 = no bound)")
 	serverStats := flag.Bool("server-stats", true, "fetch /v1/debug/stats after the run and print the server-side per-route view")
 	flag.Parse()
 
-	if err := run(*url, *duration, *concurrency, *paths, *failOn5xx, *serverStats, *maxP99); err != nil {
+	if err := run(*url, *duration, *concurrency, *rate, *paths, *body, *failOn5xx, *serverStats, *maxP99); err != nil {
 		cli.Fatal("loadgen", err)
 	}
 }
 
-func run(url string, duration time.Duration, concurrency int, rawPaths string, failOn5xx, serverStats bool, maxP99 time.Duration) error {
+func run(url string, duration time.Duration, concurrency int, rate float64, rawPaths, body string, failOn5xx, serverStats bool, maxP99 time.Duration) error {
 	cfg := loadgen.Config{
 		BaseURL:     strings.TrimRight(url, "/"),
 		Concurrency: concurrency,
 		Duration:    duration,
+		Rate:        rate,
 	}
 	if rawPaths != "" {
 		cfg.Paths = strings.Split(rawPaths, ",")
+	}
+	if body != "" {
+		paths := cfg.Paths
+		if len(paths) == 0 {
+			paths = []string{"/v1/percentiles"}
+		}
+		cfg.Targets = make([]loadgen.Target, len(paths))
+		for i, p := range paths {
+			cfg.Targets[i] = loadgen.Target{Path: p, Body: []byte(body)}
+		}
 	}
 	res, err := loadgen.Run(context.Background(), cfg)
 	if err != nil {

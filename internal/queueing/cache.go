@@ -34,6 +34,27 @@ const rhoQuantBits = 40
 // without limit).
 const pctCacheMaxEntries = 1 << 15
 
+// pctShardCount lock-stripes the memo. One RWMutex serializes every
+// warm epserve percentile request through a single cache line; under
+// batched serving load (hundreds of concurrent items, each a map read)
+// that lock is the scaling limit long before the 130 ns kernel is.
+// Sixteen shards keyed by the quantized-rho key spread both the lock
+// and the map across cores. Must be a power of two.
+const pctShardCount = 16
+
+// pctShardMaxEntries is the per-shard overflow bound; the generation
+// total stays bounded by pctCacheMaxEntries even if every key landed in
+// one shard's stripe.
+const pctShardMaxEntries = pctCacheMaxEntries / pctShardCount
+
+// QuantizedRho exposes the cache's rho quantization to callers that
+// build their own coalescing keys above the kernel: epserve's
+// singleflight layer keys scalar and batched percentile requests on
+// the same quantized utilization, so two callers that differ only in
+// float64 round-off coalesce onto one computation, exactly as their
+// cache entries collapse onto one memo cell here.
+func QuantizedRho(rho float64) float64 { return quantizeRho(rho) }
+
 // quantizeRho rounds rho onto the cache lattice, falling back to the
 // exact value at the extremes where rounding would cross 0 or 1.
 func quantizeRho(rho float64) float64 {
@@ -59,49 +80,75 @@ type pctEntry struct {
 	err  error
 }
 
-// pctGeneration pairs the memo map with its own entry counter. Keeping
-// the counter inside the generation (rather than beside the map pointer)
+// pctShard is one lock stripe of a generation: a plain Go map under an
+// RWMutex rather than a sync.Map — the hit path (the overwhelmingly
+// common case under serving load; every warm epserve percentile request
+// lands here) is then a read-lock plus a map lookup with zero
+// allocations, where sync.Map.Load boxes the 16-byte key into an
+// interface on every call. The 0-alloc hit path is asserted by a
+// regression test, as epserve's request-scoped observability depends on
+// the kernel staying allocation-free when no request attribution is
+// attached.
+type pctShard struct {
+	mu   sync.RWMutex
+	m    map[pctKey]*pctEntry
+	size atomic.Int64
+	// pad the shard out to its own cache lines so neighboring shards'
+	// mutexes do not false-share under cross-shard batch fan-out.
+	_ [24]byte
+}
+
+// pctGeneration is one lifetime of the memo: pctShardCount lock-striped
+// shards, each pairing its map with its own entry counter. Keeping the
+// counters inside the generation (rather than beside the map pointer)
 // makes the size accounting race-free across resets: a goroutine that
 // loaded an old generation increments that generation's counter, never
 // the fresh one, so a swap can neither leak uncounted entries into the
 // new map nor inherit stale counts that would trigger spurious resets —
 // both observable as cache thrash (miss-counter inflation) under
 // concurrent serving load.
-//
-// The map is a plain Go map under an RWMutex rather than a sync.Map:
-// the hit path (the overwhelmingly common case under serving load —
-// every warm epserve percentile request lands here) is then a read-lock
-// plus a map lookup with zero allocations, where sync.Map.Load boxes
-// the 16-byte key into an interface on every call. The 0-alloc hit path
-// is asserted by a regression test, as epserve's request-scoped
-// observability depends on the kernel staying allocation-free when no
-// request attribution is attached.
 type pctGeneration struct {
-	mu   sync.RWMutex
-	m    map[pctKey]*pctEntry
-	size atomic.Int64
+	shards [pctShardCount]pctShard
+}
+
+// shard maps key onto its stripe. The quantized rho and the target both
+// carry their entropy in the float64 mantissa bits; a Fibonacci mix of
+// the two spreads consecutive sweep grids (u = 0.50, 0.51, ...) across
+// stripes instead of clustering them.
+func (g *pctGeneration) shard(key pctKey) *pctShard {
+	h := math.Float64bits(key.rho)*0x9E3779B97F4A7C15 ^ key.target*0xD6E8FEB86659FD93
+	return &g.shards[(h>>56)&(pctShardCount-1)]
+}
+
+// size returns the generation's total entry count across shards.
+func (g *pctGeneration) size() int64 {
+	var n int64
+	for i := range g.shards {
+		n += g.shards[i].size.Load()
+	}
+	return n
 }
 
 // lookup returns the entry for key, creating (and counting) it on miss.
 // loaded reports whether the entry already existed.
-func (g *pctGeneration) lookup(key pctKey) (e *pctEntry, loaded bool) {
-	g.mu.RLock()
-	e = g.m[key]
-	g.mu.RUnlock()
+func (s *pctShard) lookup(key pctKey) (e *pctEntry, loaded bool) {
+	s.mu.RLock()
+	e = s.m[key]
+	s.mu.RUnlock()
 	if e != nil {
 		return e, true
 	}
-	g.mu.Lock()
-	if e = g.m[key]; e != nil {
-		g.mu.Unlock()
+	s.mu.Lock()
+	if e = s.m[key]; e != nil {
+		s.mu.Unlock()
 		return e, true
 	}
-	if g.m == nil {
-		g.m = make(map[pctKey]*pctEntry)
+	if s.m == nil {
+		s.m = make(map[pctKey]*pctEntry)
 	}
 	e = &pctEntry{}
-	g.m[key] = e
-	g.mu.Unlock()
+	s.m[key] = e
+	s.mu.Unlock()
 	return e, false
 }
 
@@ -139,14 +186,15 @@ func cachedNormalizedPercentile(rho, target float64, st *normState, rc *telemetr
 	rhoQ := quantizeRho(rho)
 	key := pctKey{rho: rhoQ, target: math.Float64bits(target)}
 	gen := pctCache.Load()
-	e, loaded := gen.lookup(key)
+	sh := gen.shard(key)
+	e, loaded := sh.lookup(key)
 	if loaded {
 		ins.cacheHits.Inc()
 		rc.Add(telemetry.AttrCacheHits, 1)
 	} else {
 		ins.cacheMisses.Inc()
 		rc.Add(telemetry.AttrCacheMisses, 1)
-		if gen.size.Add(1) > pctCacheMaxEntries {
+		if sh.size.Add(1) > pctShardMaxEntries {
 			resetPercentileCache()
 		}
 	}

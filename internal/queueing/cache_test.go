@@ -1,6 +1,7 @@
 package queueing
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -169,19 +170,25 @@ func TestPercentileCacheHitPathZeroAlloc(t *testing.T) {
 	}
 }
 
-// TestPercentileCacheResetOnOverflow: filling past the bound drops the
-// map instead of growing without limit, and queries keep answering.
+// TestPercentileCacheResetOnOverflow: filling any shard past its bound
+// drops the generation instead of growing without limit, and queries
+// keep answering.
 func TestPercentileCacheResetOnOverflow(t *testing.T) {
 	resetPercentileCache()
 	defer resetPercentileCache()
-	// Simulate a full cache rather than solving 32k percentiles.
-	pctCache.Load().size.Store(pctCacheMaxEntries)
+	// Simulate a full cache rather than solving 32k percentiles: every
+	// shard at its bound, so whichever stripe the next miss lands in
+	// overflows.
+	gen := pctCache.Load()
+	for i := range gen.shards {
+		gen.shards[i].size.Store(pctShardMaxEntries)
+	}
 	q := MD1{Lambda: 0.6, D: 1}
 	w1, err := q.WaitPercentile(95)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := pctCache.Load().size.Load(); n > 2 {
+	if n := pctCache.Load().size(); n > 2 {
 		t.Errorf("cache size %d after overflow reset", n)
 	}
 	w2, err := q.WaitPercentile(95)
@@ -190,5 +197,174 @@ func TestPercentileCacheResetOnOverflow(t *testing.T) {
 	}
 	if w1 != w2 {
 		t.Errorf("answers diverged across reset: %g vs %g", w1, w2)
+	}
+}
+
+// TestPercentileCacheShardSpread: a realistic utilization grid must not
+// collapse onto one stripe — the whole point of sharding is spreading
+// the lock. A loose bound (no empty majority, no stripe holding more
+// than half the keys) keeps the test robust to hash tweaks.
+func TestPercentileCacheShardSpread(t *testing.T) {
+	resetPercentileCache()
+	defer resetPercentileCache()
+	gen := pctCache.Load()
+	counts := make(map[*pctShard]int)
+	total := 0
+	for u := 0.05; u < 0.995; u += 0.005 {
+		for _, p := range []float64{50, 90, 95, 99, 99.9} {
+			key := pctKey{rho: quantizeRho(u), target: math.Float64bits(p / 100)}
+			counts[gen.shard(key)]++
+			total++
+		}
+	}
+	if len(counts) < pctShardCount/2 {
+		t.Fatalf("grid of %d keys landed in only %d/%d shards", total, len(counts), pctShardCount)
+	}
+	for _, n := range counts {
+		if n > total/2 {
+			t.Fatalf("one shard holds %d of %d keys", n, total)
+		}
+	}
+}
+
+// TestPercentileCacheGenerationInvariants: entries created in a
+// generation are counted in that generation; after a reset the new
+// generation starts empty and recounts from zero, and per-shard sizes
+// agree with the actual map sizes.
+func TestPercentileCacheGenerationInvariants(t *testing.T) {
+	resetPercentileCache()
+	defer resetPercentileCache()
+	rhos := []float64{0.11, 0.23, 0.37, 0.41, 0.59, 0.67, 0.79, 0.83}
+	for _, rho := range rhos {
+		q := MD1{Lambda: rho, D: 1}
+		if _, err := q.WaitPercentile(95); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.WaitPercentile(99); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := pctCache.Load()
+	var mapped int64
+	for i := range gen.shards {
+		sh := &gen.shards[i]
+		sh.mu.RLock()
+		got := int64(len(sh.m))
+		sh.mu.RUnlock()
+		if counted := sh.size.Load(); counted != got {
+			t.Errorf("shard %d: size counter %d, map holds %d", i, counted, got)
+		}
+		mapped += got
+	}
+	if want := int64(2 * len(rhos)); mapped != want || gen.size() != want {
+		t.Errorf("generation holds %d entries (counted %d), want %d", mapped, gen.size(), want)
+	}
+
+	resetPercentileCache()
+	if n := pctCache.Load().size(); n != 0 {
+		t.Errorf("fresh generation reports size %d, want 0", n)
+	}
+	// Old-generation loaders must count against the old generation only.
+	gen.shards[0].size.Add(1)
+	if n := pctCache.Load().size(); n != 0 {
+		t.Errorf("old-generation increment leaked into fresh generation (size %d)", n)
+	}
+}
+
+// TestPercentileCacheShardHammer drives many goroutines across a rho
+// grid wide enough to hit every stripe, interleaved with generation
+// resets — under -race this is the sharded cache's data-race test, and
+// the answers are cross-checked against the uncached reference.
+func TestPercentileCacheShardHammer(t *testing.T) {
+	resetPercentileCache()
+	defer resetPercentileCache()
+	rhos := make([]float64, 24)
+	for i := range rhos {
+		rhos[i] = 0.05 + 0.9*float64(i)/float64(len(rhos)-1)
+	}
+	ps := []float64{50, 90, 95, 99}
+	want := make(map[[2]float64]float64)
+	for _, rho := range rhos {
+		for _, p := range ps {
+			q := MD1{Lambda: rho, D: 1}
+			w, err := q.waitPercentileReference(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[[2]float64{rho, p}] = w
+		}
+	}
+	resetPercentileCache() // hammer from cold so misses and hits interleave
+
+	const workers = 24
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if w == 0 && i%20 == 10 {
+					resetPercentileCache() // generations swap mid-traffic
+				}
+				rho := rhos[(w*5+i)%len(rhos)]
+				p := ps[(w+i)%len(ps)]
+				q := MD1{Lambda: rho, D: 1}
+				got, err := q.WaitPercentile(p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ref := want[[2]float64{rho, p}]
+				if math.Abs(got-ref) > 1e-8*math.Max(1, ref) {
+					t.Errorf("rho=%g p=%g: got %.12g want %.12g", rho, p, got, ref)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPercentileCacheCrossShardAttribution: one request whose batch
+// spans many shards must still attribute every hit and miss to its own
+// RequestContext, and the split must match the process-global counters.
+func TestPercentileCacheCrossShardAttribution(t *testing.T) {
+	reg := telemetry.New()
+	telemetry.SetGlobal(reg)
+	defer telemetry.SetGlobal(nil)
+	resetPercentileCache()
+	defer resetPercentileCache()
+
+	// 12 percentile targets at one rho spread across stripes (the target
+	// participates in the shard hash).
+	ps := []float64{40, 50, 60, 70, 80, 85, 90, 92, 95, 97, 99, 99.5}
+	q := MD1{Lambda: 0.654321, D: 1}
+
+	rc := telemetry.NewRequestContext("", "test")
+	ctx := telemetry.WithRequest(context.Background(), rc)
+	if _, err := q.WaitPercentilesContext(ctx, ps); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := rc.Attr(telemetry.AttrCacheHits), rc.Attr(telemetry.AttrCacheMisses); hits != 0 || misses != int64(len(ps)) {
+		t.Fatalf("cold cross-shard batch: rc hits=%d misses=%d, want 0/%d", hits, misses, len(ps))
+	}
+
+	rc2 := telemetry.NewRequestContext("", "test")
+	ctx2 := telemetry.WithRequest(context.Background(), rc2)
+	if _, err := q.WaitPercentilesContext(ctx2, ps); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := rc2.Attr(telemetry.AttrCacheHits), rc2.Attr(telemetry.AttrCacheMisses); hits != int64(len(ps)) || misses != 0 {
+		t.Fatalf("warm cross-shard batch: rc hits=%d misses=%d, want %d/0", hits, misses, len(ps))
+	}
+	gHits := reg.Counter("queueing.percentile_cache_hits").Value()
+	gMisses := reg.Counter("queueing.percentile_cache_misses").Value()
+	if gHits != uint64(len(ps)) || gMisses != uint64(len(ps)) {
+		t.Fatalf("global counters hits=%d misses=%d, want %d/%d", gHits, gMisses, len(ps), len(ps))
 	}
 }

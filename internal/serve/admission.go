@@ -1,9 +1,10 @@
 package serve
 
 import (
+	"container/list"
 	"context"
 	"errors"
-	"sync/atomic"
+	"sync"
 )
 
 // errShed is returned by limiter.acquire when the wait queue is full;
@@ -11,66 +12,137 @@ import (
 var errShed = errors.New("serve: overloaded, request shed")
 
 // limiter is the bounded admission control in front of every model
-// endpoint: at most maxInflight requests execute concurrently (slots is
-// a channel semaphore), at most maxQueue more wait for a slot, and
-// anything beyond that is shed immediately. Shedding at a bounded queue
-// depth rather than queueing without limit keeps tail latency bounded
-// under overload — the same argument the M/D/1 analysis this service
-// exposes makes about its modelled clusters.
+// endpoint, generalized to weighted requests: a scalar percentile query
+// costs 1 unit, a batch of N items costs N, and a frontier sweep costs
+// units proportional to its configuration-space size. At most capacity
+// units execute concurrently, at most maxQueue requests wait for
+// units, and anything beyond that is shed immediately. Shedding at a
+// bounded queue depth rather than queueing without limit keeps tail
+// latency bounded under overload — the same argument the M/D/1
+// analysis this service exposes makes about its modelled clusters.
+//
+// Weighting matters because the admission budget models CPU: before it,
+// a batch of 512 evaluations and a single evaluation each cost one
+// slot, so a handful of large batches could grab every slot and
+// multiply the service's concurrent work by orders of magnitude while
+// the shed threshold never moved.
+//
+// Waiters are granted strictly FIFO: a wide batch at the head blocks
+// narrower requests behind it until enough units free up, rather than
+// being starved forever by a stream of cheap requests slipping past it.
 type limiter struct {
-	slots    chan struct{}
+	mu       sync.Mutex
+	capacity int64
+	inUse    int64
 	maxQueue int64
-	queued   atomic.Int64
+	queued   int64
+	waiters  list.List // of *waiter, FIFO
 	ins      *instruments
+}
+
+// waiter is one queued acquire: ready is closed (under the limiter's
+// lock, with granted set) when its units are assigned.
+type waiter struct {
+	weight  int64
+	granted bool
+	ready   chan struct{}
 }
 
 func newLimiter(maxInflight, maxQueue int, ins *instruments) *limiter {
 	return &limiter{
-		slots:    make(chan struct{}, maxInflight),
+		capacity: int64(maxInflight),
 		maxQueue: int64(maxQueue),
 		ins:      ins,
 	}
 }
 
-// acquire claims an execution slot, waiting in the bounded queue if all
-// slots are busy. It returns errShed when the queue is full, the ctx
-// error if the request's deadline expires (or the client disconnects)
-// while waiting, and nil once a slot is held — the caller must then
-// release exactly once.
-func (l *limiter) acquire(ctx context.Context) error {
-	select {
-	case l.slots <- struct{}{}:
-		l.admitted()
-		return nil
-	default:
+// acquire claims weight units, waiting in the bounded FIFO queue if
+// they are not free. Weights below 1 cost 1; weights above the total
+// capacity are clamped to it, so a batch wider than the whole budget
+// still runs (alone) instead of deadlocking. It returns errShed when
+// the wait queue is full and the ctx error if the request's deadline
+// expires (or the client disconnects) while waiting. On success the
+// returned release function must be called exactly once.
+func (l *limiter) acquire(ctx context.Context, weight int64) (func(), error) {
+	if weight < 1 {
+		weight = 1
 	}
-	if l.queued.Add(1) > l.maxQueue {
-		l.queued.Add(-1)
+	if weight > l.capacity {
+		weight = l.capacity
+	}
+	l.mu.Lock()
+	// Admit immediately only when nobody is queued ahead (FIFO).
+	if l.waiters.Len() == 0 && l.inUse+weight <= l.capacity {
+		l.inUse += weight
+		l.mu.Unlock()
+		l.admitted(weight)
+		return func() { l.release(weight) }, nil
+	}
+	if l.queued >= l.maxQueue {
+		l.mu.Unlock()
 		l.ins.shed.Inc()
-		return errShed
+		return nil, errShed
 	}
+	wt := &waiter{weight: weight, ready: make(chan struct{})}
+	elem := l.waiters.PushBack(wt)
+	l.queued++
+	l.mu.Unlock()
 	l.ins.queueWaits.Inc()
 	l.ins.queueDepth.Add(1)
-	defer func() {
-		l.queued.Add(-1)
-		l.ins.queueDepth.Add(-1)
-	}()
+	defer l.ins.queueDepth.Add(-1)
+
 	select {
-	case l.slots <- struct{}{}:
-		l.admitted()
-		return nil
+	case <-wt.ready:
+		l.admitted(weight)
+		return func() { l.release(weight) }, nil
 	case <-ctx.Done():
-		return ctx.Err()
+		l.mu.Lock()
+		if wt.granted {
+			// The grant raced the cancellation: hand the units straight
+			// back and wake whoever they now fit.
+			l.inUse -= weight
+			l.wakeLocked()
+			l.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		l.waiters.Remove(elem)
+		l.queued--
+		l.mu.Unlock()
+		return nil, ctx.Err()
 	}
 }
 
-func (l *limiter) admitted() {
-	l.ins.admitted.Inc()
-	l.ins.inflight.Add(1)
+// release returns weight units and grants them to queued waiters.
+func (l *limiter) release(weight int64) {
+	l.mu.Lock()
+	l.inUse -= weight
+	l.wakeLocked()
+	l.mu.Unlock()
+	l.ins.inflight.Add(float64(-weight))
 }
 
-// release returns a slot claimed by acquire.
-func (l *limiter) release() {
-	<-l.slots
-	l.ins.inflight.Add(-1)
+// wakeLocked grants units to waiters from the queue head while they
+// fit. Caller holds l.mu.
+func (l *limiter) wakeLocked() {
+	for {
+		front := l.waiters.Front()
+		if front == nil {
+			return
+		}
+		wt := front.Value.(*waiter)
+		if l.inUse+wt.weight > l.capacity {
+			return
+		}
+		l.inUse += wt.weight
+		wt.granted = true
+		close(wt.ready)
+		l.waiters.Remove(front)
+		l.queued--
+	}
+}
+
+func (l *limiter) admitted(weight int64) {
+	l.ins.admitted.Inc()
+	l.ins.admittedUnits.Add(uint64(weight))
+	l.ins.inflight.Add(float64(weight))
 }

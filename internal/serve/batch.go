@@ -1,0 +1,582 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+)
+
+// The batch evaluation plane: POST on /v1/percentiles, /v1/epmetrics
+// and /v1/frontier carries many evaluations in one HTTP exchange. The
+// point is amortization — one connection, one JSON decode, one admission
+// pass and one response encode for N evaluations that would otherwise
+// each pay the full per-request overhead — without letting batches dodge
+// the load shedder: the admission weigher below decodes the body exactly
+// once, computes the batch's expanded item count, and charges that many
+// units, so a batch of 512 items sheds exactly like 512 scalar requests
+// would.
+//
+// Item failures are per-item: one bad mix in a batch of 100 yields 99
+// results and one error envelope, not a failed batch. Only context
+// errors (deadline, client disconnect) abort the whole batch, because
+// every remaining item would fail the same way.
+
+// maxBatchItems bounds the expanded per-item evaluation count of one
+// batch request (items × utilization points for percentiles). The bound
+// keeps one request from monopolizing the admission budget for seconds:
+// at ~1 µs per warm item a full batch is still ~1 ms of work.
+const maxBatchItems = 1024
+
+// maxBatchBodyBytes bounds the POST body size read off the wire before
+// decoding.
+const maxBatchBodyBytes = 1 << 20
+
+// frontierAdmissionUnit converts a frontier sweep's configuration-space
+// size into admission units: one unit per 4096 configurations, matching
+// roughly the cost ratio between one memoized-table sweep block and one
+// scalar percentile evaluation. Both the scalar GET weigher and the
+// batch weigher use it, so a 100k-configuration sweep can no longer
+// slip past admission for the price of one percentile lookup.
+const frontierAdmissionUnit = 4096
+
+// batchBodyKey carries the weigher-decoded batch request through the
+// request context to the handler, so the body is decoded exactly once.
+type batchBodyKey struct{}
+
+func stashBatch(r *http.Request, v any) *http.Request {
+	return r.WithContext(context.WithValue(r.Context(), batchBodyKey{}, v))
+}
+
+func batchBody(r *http.Request) any {
+	return r.Context().Value(batchBodyKey{})
+}
+
+// decodeBatchBody decodes r's JSON body into dst, bounded by
+// maxBatchBodyBytes, writing the 400 envelope on failure.
+func decodeBatchBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("invalid JSON body: %v", err))
+		return false
+	}
+	return true
+}
+
+// BatchItemError is the per-item error envelope inside a batch
+// response: the item's result slot carries it instead of a result, and
+// the batch itself still answers 200.
+type BatchItemError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func itemError(status int, err error) *BatchItemError {
+	code := "bad_request"
+	if status == http.StatusNotFound {
+		code = "not_found"
+	}
+	return &BatchItemError{Code: code, Message: err.Error()}
+}
+
+// batchMeta is the shared bookkeeping of one batch response: counters,
+// per-request attribution and the X-Batch-Errors header (which lets
+// load generators count item failures without parsing bodies).
+func (s *Server) batchMeta(w http.ResponseWriter, r *http.Request, items, itemErrors int) {
+	s.ins.batchRequests.Inc()
+	s.ins.batchItems.Add(uint64(items))
+	s.ins.batchItemErrors.Add(uint64(itemErrors))
+	rc := telemetry.RequestFrom(r.Context())
+	rc.Add(telemetry.AttrBatchItems, int64(items))
+	w.Header().Set("X-Batch-Errors", strconv.Itoa(itemErrors))
+}
+
+// --- /v1/percentiles batch ---
+
+// PercentilesBatchItem is one configuration of a percentiles batch:
+// either a (workload, mix) pair in model mode or a raw service time d,
+// evaluated at every utilization in U (falling back to the
+// request-level U) for the percentiles in P (falling back to the
+// request-level P, then to 50,95,99).
+type PercentilesBatchItem struct {
+	Workload string    `json:"workload,omitempty"`
+	Mix      string    `json:"mix,omitempty"`
+	D        float64   `json:"d,omitempty"`
+	U        []float64 `json:"u,omitempty"`
+	P        []float64 `json:"p,omitempty"`
+}
+
+// PercentilesBatchRequest is the POST /v1/percentiles body: Items
+// crossed with their utilization points, request-level U and P serving
+// as defaults for items that omit them.
+type PercentilesBatchRequest struct {
+	U     []float64              `json:"u,omitempty"`
+	P     []float64              `json:"p,omitempty"`
+	Items []PercentilesBatchItem `json:"items"`
+}
+
+// uFor returns item i's utilization list after defaulting.
+func (req *PercentilesBatchRequest) uFor(i int) []float64 {
+	if len(req.Items[i].U) > 0 {
+		return req.Items[i].U
+	}
+	return req.U
+}
+
+// pFor returns item i's percentile list after defaulting.
+func (req *PercentilesBatchRequest) pFor(i int) []float64 {
+	if len(req.Items[i].P) > 0 {
+		return req.Items[i].P
+	}
+	if len(req.P) > 0 {
+		return req.P
+	}
+	return defaultPercentiles
+}
+
+var defaultPercentiles = []float64{50, 95, 99}
+
+// expandedCount validates the batch's structure and returns the
+// expanded evaluation count (= the admission weight): the sum over
+// items of their utilization-point counts.
+func (req *PercentilesBatchRequest) expandedCount() (int, error) {
+	if len(req.Items) == 0 {
+		return 0, errors.New("batch has no items")
+	}
+	total := 0
+	for i := range req.Items {
+		n := len(req.uFor(i))
+		if n == 0 {
+			return 0, fmt.Errorf("item %d has no utilization points (set item u or request-level u)", i)
+		}
+		if len(req.pFor(i)) > maxPercentiles {
+			return 0, fmt.Errorf("item %d asks for more than %d percentiles", i, maxPercentiles)
+		}
+		total += n
+	}
+	if total > maxBatchItems {
+		return 0, fmt.Errorf("batch expands to %d evaluations, more than the per-request cap %d", total, maxBatchItems)
+	}
+	return total, nil
+}
+
+// PercentilesBatchResult is one expanded (item, utilization) evaluation
+// in a PercentilesBatchResponse: exactly one of Result and Error is
+// set.
+type PercentilesBatchResult struct {
+	// Item indexes the request item this evaluation came from.
+	Item int `json:"item"`
+	// U is the utilization point evaluated.
+	U      float64              `json:"u"`
+	Result *PercentilesResponse `json:"result,omitempty"`
+	Error  *BatchItemError      `json:"error,omitempty"`
+}
+
+// PercentilesBatchResponse is the POST /v1/percentiles response body.
+// Results holds one entry per expanded (item, utilization) pair in
+// deterministic item-major order.
+type PercentilesBatchResponse struct {
+	Count   int                      `json:"count"`
+	Errors  int                      `json:"errors"`
+	Results []PercentilesBatchResult `json:"results"`
+}
+
+// weighPercentiles is the admission weigher of /v1/percentiles: GET
+// costs 1 unit, POST decodes the batch body once and costs its expanded
+// evaluation count.
+func (s *Server) weighPercentiles(w http.ResponseWriter, r *http.Request) (int64, *http.Request, bool) {
+	if r.Method != http.MethodPost {
+		return 1, r, true
+	}
+	req := new(PercentilesBatchRequest)
+	if !decodeBatchBody(w, r, req) {
+		return 0, r, false
+	}
+	n, err := req.expandedCount()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return 0, r, false
+	}
+	return int64(n), stashBatch(r, req), true
+}
+
+// pctBatchEntry is one expanded evaluation after per-item resolution:
+// the service time is resolved once per item (one model analysis for
+// all of the item's utilization points) before the fan-out.
+type pctBatchEntry struct {
+	item        int
+	u           float64
+	ps          []float64
+	wlName, mix string
+	serviceTime float64
+	err         *BatchItemError // resolution failure, set before fan-out
+}
+
+// handlePercentilesBatch serves POST /v1/percentiles: the batch body
+// was decoded (and admission-charged) by weighPercentiles; here the
+// expanded evaluations fan out across the sweep pool into fixed result
+// slots, each entering the same singleflight group and percentile cache
+// as a scalar GET would.
+func (s *Server) handlePercentilesBatch(w http.ResponseWriter, r *http.Request) {
+	req, ok := batchBody(r).(*PercentilesBatchRequest)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad_request", "POST /v1/percentiles requires a JSON batch body")
+		return
+	}
+
+	// Resolve each item once, then expand to (item, u) entries.
+	entries := make([]pctBatchEntry, 0, len(req.Items))
+	for i := range req.Items {
+		it := &req.Items[i]
+		proto := pctBatchEntry{item: i, ps: req.pFor(i)}
+		switch {
+		case it.Mix != "" && it.D != 0:
+			proto.err = &BatchItemError{Code: "bad_request",
+				Message: "pass either mix (model mode) or d (raw service time), not both"}
+		case it.Mix != "":
+			proto.wlName, proto.mix = it.Workload, it.Mix
+			if proto.wlName == "" {
+				proto.wlName = "EP"
+			}
+			a, status, err := s.analysisFor(proto.wlName, proto.mix)
+			if err != nil {
+				proto.err = itemError(status, err)
+			} else {
+				proto.serviceTime = float64(a.Result.Time)
+			}
+		case it.D > 0:
+			proto.serviceTime = it.D
+		case it.D < 0:
+			proto.err = &BatchItemError{Code: "bad_request", Message: "service time d must be positive"}
+		default:
+			proto.err = &BatchItemError{Code: "bad_request", Message: "missing mix (model mode) or d (raw service time)"}
+		}
+		for _, p := range proto.ps {
+			if p < 0 || p >= 100 {
+				proto.err = &BatchItemError{Code: "bad_request",
+					Message: fmt.Sprintf("invalid percentile %g: want a number in [0, 100)", p)}
+				break
+			}
+		}
+		for _, u := range req.uFor(i) {
+			e := proto
+			e.u = u
+			entries = append(entries, e)
+		}
+	}
+
+	results := make([]PercentilesBatchResult, len(entries))
+	var aborted atomic.Bool
+	ctx := r.Context()
+	ferr := sweep.ForEachContext(ctx, len(entries), s.cfg.Workers, func(i int) {
+		e := &entries[i]
+		results[i] = PercentilesBatchResult{Item: e.item, U: e.u}
+		if e.err != nil {
+			results[i].Error = e.err
+			return
+		}
+		if e.u < 0 || e.u >= 1 {
+			results[i].Error = &BatchItemError{Code: "bad_request",
+				Message: fmt.Sprintf("utilization u=%g outside [0, 1)", e.u)}
+			return
+		}
+		v, err := s.percentilesShared(ctx, e.wlName, e.mix, e.serviceTime, e.u, e.ps)
+		switch {
+		case err == nil:
+			results[i].Result = v
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			aborted.Store(true)
+		default:
+			results[i].Error = &BatchItemError{Code: "bad_request", Message: err.Error()}
+		}
+	})
+	if ferr != nil || aborted.Load() {
+		err := ferr
+		if err == nil {
+			err = ctx.Err()
+		}
+		s.deadlineError(w, r, err)
+		return
+	}
+
+	resp := PercentilesBatchResponse{Count: len(results), Results: results}
+	for i := range results {
+		if results[i].Error != nil {
+			resp.Errors++
+		}
+	}
+	s.batchMeta(w, r, resp.Count, resp.Errors)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /v1/epmetrics batch ---
+
+// EPMetricsBatchItem is one (workload, mix, ref) evaluation of an
+// EP-metrics batch; Workload and Ref fall back to the request level.
+type EPMetricsBatchItem struct {
+	Workload string `json:"workload,omitempty"`
+	Mix      string `json:"mix"`
+	Ref      string `json:"ref,omitempty"`
+}
+
+// EPMetricsBatchRequest is the POST /v1/epmetrics body.
+type EPMetricsBatchRequest struct {
+	Workload string               `json:"workload,omitempty"`
+	Ref      string               `json:"ref,omitempty"`
+	Items    []EPMetricsBatchItem `json:"items"`
+}
+
+// EPMetricsBatchResult is one item's outcome: exactly one of Result and
+// Error is set.
+type EPMetricsBatchResult struct {
+	Item   int                `json:"item"`
+	Result *EPMetricsResponse `json:"result,omitempty"`
+	Error  *BatchItemError    `json:"error,omitempty"`
+}
+
+// EPMetricsBatchResponse is the POST /v1/epmetrics response body.
+type EPMetricsBatchResponse struct {
+	Count   int                    `json:"count"`
+	Errors  int                    `json:"errors"`
+	Results []EPMetricsBatchResult `json:"results"`
+}
+
+// weighEpmetrics is the admission weigher of /v1/epmetrics: GET costs
+// 1 unit, POST costs one unit per item.
+func (s *Server) weighEpmetrics(w http.ResponseWriter, r *http.Request) (int64, *http.Request, bool) {
+	if r.Method != http.MethodPost {
+		return 1, r, true
+	}
+	req := new(EPMetricsBatchRequest)
+	if !decodeBatchBody(w, r, req) {
+		return 0, r, false
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "batch has no items")
+		return 0, r, false
+	}
+	if len(req.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("batch has %d items, more than the per-request cap %d", len(req.Items), maxBatchItems))
+		return 0, r, false
+	}
+	return int64(len(req.Items)), stashBatch(r, req), true
+}
+
+// handleEpmetricsBatch serves POST /v1/epmetrics, fanning the items out
+// across the sweep pool into fixed result slots.
+func (s *Server) handleEpmetricsBatch(w http.ResponseWriter, r *http.Request) {
+	req, ok := batchBody(r).(*EPMetricsBatchRequest)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad_request", "POST /v1/epmetrics requires a JSON batch body")
+		return
+	}
+	results := make([]EPMetricsBatchResult, len(req.Items))
+	ctx := r.Context()
+	ferr := sweep.ForEachContext(ctx, len(req.Items), s.cfg.Workers, func(i int) {
+		it := &req.Items[i]
+		wlName, refMix := it.Workload, it.Ref
+		if wlName == "" {
+			wlName = req.Workload
+		}
+		if refMix == "" {
+			refMix = req.Ref
+		}
+		results[i] = EPMetricsBatchResult{Item: i}
+		resp, status, err := s.epmetricsFor(wlName, it.Mix, refMix)
+		if err != nil {
+			results[i].Error = itemError(status, err)
+			return
+		}
+		results[i].Result = &resp
+	})
+	if ferr != nil {
+		s.deadlineError(w, r, ferr)
+		return
+	}
+
+	resp := EPMetricsBatchResponse{Count: len(results), Results: results}
+	for i := range results {
+		if results[i].Error != nil {
+			resp.Errors++
+		}
+	}
+	s.batchMeta(w, r, resp.Count, resp.Errors)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /v1/frontier batch ---
+
+// FrontierBatchItem is one frontier sweep of a batch. MaxA9/MaxK10
+// default to 32/12 when omitted (nil), matching the GET defaults.
+type FrontierBatchItem struct {
+	Workload        string  `json:"workload,omitempty"`
+	MaxA9           *int    `json:"max_a9,omitempty"`
+	MaxK10          *int    `json:"max_k10,omitempty"`
+	DVFS            bool    `json:"dvfs,omitempty"`
+	PowerWatts      float64 `json:"power_watts,omitempty"`
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	EnergyJoules    float64 `json:"energy_joules,omitempty"`
+}
+
+// FrontierBatchRequest is the POST /v1/frontier body.
+type FrontierBatchRequest struct {
+	Items []FrontierBatchItem `json:"items"`
+}
+
+// FrontierBatchResult is one item's outcome: exactly one of Result and
+// Error is set.
+type FrontierBatchResult struct {
+	Item   int               `json:"item"`
+	Result *FrontierResponse `json:"result,omitempty"`
+	Error  *BatchItemError   `json:"error,omitempty"`
+}
+
+// FrontierBatchResponse is the POST /v1/frontier response body.
+type FrontierBatchResponse struct {
+	Count   int                   `json:"count"`
+	Errors  int                   `json:"errors"`
+	Results []FrontierBatchResult `json:"results"`
+}
+
+// params maps item i onto the canonical frontierParams.
+func (req *FrontierBatchRequest) params(i int) frontierParams {
+	it := &req.Items[i]
+	p := frontierParams{
+		workload: it.Workload,
+		maxA9:    32, maxK10: 12,
+		dvfs:     it.DVFS,
+		powerW:   it.PowerWatts,
+		deadline: it.DeadlineSeconds,
+		energy:   it.EnergyJoules,
+	}
+	if p.workload == "" {
+		p.workload = "EP"
+	}
+	if it.MaxA9 != nil {
+		p.maxA9 = *it.MaxA9
+	}
+	if it.MaxK10 != nil {
+		p.maxK10 = *it.MaxK10
+	}
+	return p
+}
+
+// frontierUnits converts a configuration-space size into admission
+// units.
+func frontierUnits(space int) int64 {
+	u := int64((space + frontierAdmissionUnit - 1) / frontierAdmissionUnit)
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// weighFrontier is the admission weigher of /v1/frontier. A GET sweep
+// charges units proportional to the configuration space it spans —
+// before this weigher existed a 100k-configuration sweep cost the same
+// single unit as one percentile lookup, so a handful of sweeps could
+// multiply the service's concurrent work by orders of magnitude without
+// moving the shed threshold. A POST batch charges the sum of its items'
+// sweep costs. Parse or plan failures fall back to weight 1 and let the
+// handler produce the error response.
+func (s *Server) weighFrontier(w http.ResponseWriter, r *http.Request) (int64, *http.Request, bool) {
+	if r.Method != http.MethodPost {
+		p, ok := frontierQueryParams(discardResponseWriter{}, r.URL.Query())
+		if !ok {
+			return 1, r, true
+		}
+		if _, space, _, err := s.frontierPlan(p); err == nil {
+			return frontierUnits(space), r, true
+		}
+		return 1, r, true
+	}
+	req := new(FrontierBatchRequest)
+	if !decodeBatchBody(w, r, req) {
+		return 0, r, false
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "batch has no items")
+		return 0, r, false
+	}
+	if len(req.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("batch has %d items, more than the per-request cap %d", len(req.Items), maxBatchItems))
+		return 0, r, false
+	}
+	var weight int64
+	for i := range req.Items {
+		if _, space, _, err := s.frontierPlan(req.params(i)); err == nil {
+			weight += frontierUnits(space)
+		} else {
+			weight++ // invalid item: costs one unit, fails per-item below
+		}
+	}
+	return weight, stashBatch(r, req), true
+}
+
+// discardResponseWriter swallows the error responses
+// frontierQueryParams would write when the weigher probes the query
+// form; the handler re-parses and writes the real error.
+type discardResponseWriter struct{}
+
+func (discardResponseWriter) Header() http.Header         { return http.Header{} }
+func (discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (discardResponseWriter) WriteHeader(int)             {}
+
+// handleFrontierBatch serves POST /v1/frontier. Items fan out across
+// the sweep pool; each item's sweep itself fans out through the shared
+// pool and the singleflight group, so identical sweeps inside one batch
+// (or across concurrent requests) run once.
+func (s *Server) handleFrontierBatch(w http.ResponseWriter, r *http.Request) {
+	req, ok := batchBody(r).(*FrontierBatchRequest)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad_request", "POST /v1/frontier requires a JSON batch body")
+		return
+	}
+	results := make([]FrontierBatchResult, len(req.Items))
+	var aborted atomic.Bool
+	ctx := r.Context()
+	ferr := sweep.ForEachContext(ctx, len(req.Items), s.cfg.Workers, func(i int) {
+		results[i] = FrontierBatchResult{Item: i}
+		p := req.params(i)
+		limits, _, status, err := s.frontierPlan(p)
+		if err != nil {
+			results[i].Error = itemError(status, err)
+			return
+		}
+		v, err := s.frontierShared(ctx, p, limits)
+		switch {
+		case err == nil:
+			results[i].Result = v
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			aborted.Store(true)
+		default:
+			results[i].Error = &BatchItemError{Code: "bad_request", Message: err.Error()}
+		}
+	})
+	if ferr != nil || aborted.Load() {
+		err := ferr
+		if err == nil {
+			err = ctx.Err()
+		}
+		s.deadlineError(w, r, err)
+		return
+	}
+
+	resp := FrontierBatchResponse{Count: len(results), Results: results}
+	for i := range results {
+		if results[i].Error != nil {
+			resp.Errors++
+		}
+	}
+	s.batchMeta(w, r, resp.Count, resp.Errors)
+	writeJSON(w, http.StatusOK, resp)
+}

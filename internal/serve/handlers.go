@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -58,31 +59,43 @@ func (c *analysisCache) put(key string, a *energyprop.Analysis) {
 	c.m[key] = a
 }
 
-// analysis resolves the cached Analysis for (workload, mix), computing
-// and memoizing it on miss. Lookup failures map to 404, everything else
-// to 400.
-func (s *Server) analysis(w http.ResponseWriter, wlName, mix string) (*energyprop.Analysis, bool) {
+// analysisFor resolves the cached Analysis for (workload, mix),
+// computing and memoizing it on miss. On failure the returned status
+// is the HTTP status the error maps to: lookup failures 404,
+// everything else 400. It never touches the ResponseWriter, so both
+// the scalar handlers and the batch per-item paths share it.
+func (s *Server) analysisFor(wlName, mix string) (*energyprop.Analysis, int, error) {
 	key := wlName + "|" + mix
 	if a, ok := s.analyses.get(key); ok {
-		return a, true
+		return a, 0, nil
 	}
 	wl, err := s.cfg.Workloads.Lookup(wlName)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "not_found", err.Error())
-		return nil, false
+		return nil, http.StatusNotFound, err
 	}
 	cfg, err := cli.ParseMix(s.cfg.Catalog, mix, 0, 0)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("invalid mix %q: %v", mix, err))
-		return nil, false
+		return nil, http.StatusBadRequest, fmt.Errorf("invalid mix %q: %v", mix, err)
 	}
 	a, err := energyprop.Analyze(cfg, wl, model.Options{}, 200)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
-		return nil, false
+		return nil, http.StatusBadRequest, err
 	}
 	s.analyses.put(key, a)
+	return a, 0, nil
+}
+
+// analysis is analysisFor with the scalar handlers' error writing.
+func (s *Server) analysis(w http.ResponseWriter, wlName, mix string) (*energyprop.Analysis, bool) {
+	a, status, err := s.analysisFor(wlName, mix)
+	if err != nil {
+		code := "bad_request"
+		if status == http.StatusNotFound {
+			code = "not_found"
+		}
+		writeError(w, status, code, err.Error())
+		return nil, false
+	}
 	return a, true
 }
 
@@ -121,12 +134,87 @@ type PercentilesResponse struct {
 	Percentiles []PercentilePoint `json:"percentiles"`
 }
 
-// handlePercentiles serves GET /v1/percentiles: exact M/D/1
+// pctFlightKey is the singleflight key of one percentile evaluation:
+// scalar GET requests and every item of a POST batch build the same key
+// from the same canonical fields (workload, mix, service time, the
+// cache-quantized utilization, and the parsed percentile list), so a
+// scalar caller and a batched caller asking the same question coalesce
+// onto one computation.
+func pctFlightKey(wlName, mix string, serviceTime, u float64, ps []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pct|%s|%s|%g|%g|", wlName, mix, serviceTime, queueing.QuantizedRho(u))
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%g", p)
+	}
+	return b.String()
+}
+
+// computePercentiles is the percentile evaluation core shared by the
+// scalar handler and the batch per-item path: build the M/D/1 queue at
+// (u, serviceTime), run the batched percentile solve under ctx, and
+// materialize the response.
+func computePercentiles(ctx context.Context, wlName, mix string, serviceTime, u float64, ps []float64) (*PercentilesResponse, error) {
+	queue, err := queueing.NewMD1FromUtilization(u, serviceTime)
+	if err != nil {
+		return nil, err
+	}
+	waits, err := queue.WaitPercentilesContext(ctx, ps)
+	if err != nil {
+		return nil, err
+	}
+	resp := &PercentilesResponse{
+		Workload:             wlName,
+		Mix:                  mix,
+		Utilization:          u,
+		ServiceTimeSeconds:   serviceTime,
+		ArrivalRatePerSecond: queue.Lambda,
+		MeanWaitSeconds:      queue.MeanWait(),
+		MeanResponseSeconds:  queue.MeanResponse(),
+		Percentiles:          make([]PercentilePoint, len(ps)),
+	}
+	for i, p := range ps {
+		resp.Percentiles[i] = PercentilePoint{
+			P:               p,
+			WaitSeconds:     waits[i],
+			ResponseSeconds: waits[i] + serviceTime,
+		}
+	}
+	return resp, nil
+}
+
+// percentilesShared runs computePercentiles under the singleflight
+// group, attributing coalesced followers. Both the scalar handler and
+// every batch item enter here, so identical questions across transports
+// share one computation and one set of cache lookups.
+func (s *Server) percentilesShared(ctx context.Context, wlName, mix string, serviceTime, u float64, ps []float64) (*PercentilesResponse, error) {
+	key := pctFlightKey(wlName, mix, serviceTime, u, ps)
+	v, shared, err := s.flights.do(ctx, key, func() (any, error) {
+		return computePercentiles(ctx, wlName, mix, serviceTime, u, ps)
+	})
+	if shared {
+		s.ins.coalesced.Inc()
+		telemetry.RequestFrom(ctx).Add(telemetry.AttrCoalesced, 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v.(*PercentilesResponse), nil
+}
+
+// handlePercentiles serves /v1/percentiles: exact M/D/1
 // waiting/response-time percentiles at a target utilization, for either
 // a (workload, mix) pair run through the time-energy model or a raw
-// service time d.
+// service time d. GET answers one (configuration, utilization) pair;
+// POST takes a batch (see handlePercentilesBatch).
 func (s *Server) handlePercentiles(w http.ResponseWriter, r *http.Request) {
-	if !allowGet(w, r) {
+	if r.Method == http.MethodPost {
+		s.handlePercentilesBatch(w, r)
+		return
+	}
+	if !allowGetBatch(w, r) {
 		return
 	}
 	q := r.URL.Query()
@@ -179,39 +267,7 @@ func (s *Server) handlePercentiles(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := fmt.Sprintf("pct|%s|%s|%g|%g|%s", wlName, mix, serviceTime, u, q.Get("p"))
-	v, shared, err := s.flights.do(r.Context(), key, func() (any, error) {
-		queue, err := queueing.NewMD1FromUtilization(u, serviceTime)
-		if err != nil {
-			return nil, err
-		}
-		waits, err := queue.WaitPercentilesContext(r.Context(), ps)
-		if err != nil {
-			return nil, err
-		}
-		resp := &PercentilesResponse{
-			Workload:             wlName,
-			Mix:                  mix,
-			Utilization:          u,
-			ServiceTimeSeconds:   serviceTime,
-			ArrivalRatePerSecond: queue.Lambda,
-			MeanWaitSeconds:      queue.MeanWait(),
-			MeanResponseSeconds:  queue.MeanResponse(),
-			Percentiles:          make([]PercentilePoint, len(ps)),
-		}
-		for i, p := range ps {
-			resp.Percentiles[i] = PercentilePoint{
-				P:               p,
-				WaitSeconds:     waits[i],
-				ResponseSeconds: waits[i] + serviceTime,
-			}
-		}
-		return resp, nil
-	})
-	if shared {
-		s.ins.coalesced.Inc()
-		telemetry.RequestFrom(r.Context()).Add(telemetry.AttrCoalesced, 1)
-	}
+	v, err := s.percentilesShared(r.Context(), wlName, mix, serviceTime, u, ps)
 	if err != nil {
 		s.computeError(w, r, err)
 		return
@@ -264,26 +320,19 @@ type EPMetricsResponse struct {
 	Reference *ReferenceBlock `json:"reference,omitempty"`
 }
 
-// handleEpmetrics serves GET /v1/epmetrics: the Table 3 energy
-// proportionality metrics of one (workload, mix), optionally normalized
-// against a reference mix to expose sub-linear proportionality.
-func (s *Server) handleEpmetrics(w http.ResponseWriter, r *http.Request) {
-	if !allowGet(w, r) {
-		return
-	}
-	q := r.URL.Query()
-	mix := q.Get("mix")
+// epmetricsFor is the EP-metrics evaluation core shared by the scalar
+// handler and the batch per-item path. On failure the returned status
+// is the HTTP status the error maps to.
+func (s *Server) epmetricsFor(wlName, mix, refMix string) (EPMetricsResponse, int, error) {
 	if mix == "" {
-		writeError(w, http.StatusBadRequest, "bad_request", "missing mix=")
-		return
+		return EPMetricsResponse{}, http.StatusBadRequest, errors.New("missing mix=")
 	}
-	wlName := q.Get("workload")
 	if wlName == "" {
 		wlName = "EP"
 	}
-	a, ok := s.analysis(w, wlName, mix)
-	if !ok {
-		return
+	a, status, err := s.analysisFor(wlName, mix)
+	if err != nil {
+		return EPMetricsResponse{}, status, err
 	}
 	m := a.Metrics()
 	resp := EPMetricsResponse{
@@ -298,10 +347,10 @@ func (s *Server) handleEpmetrics(w http.ResponseWriter, r *http.Request) {
 			DPR: m.DPR, IPR: m.IPR, EPM: m.EPM, LDR: m.LDR, ChordLDR: m.ChordLDR,
 		},
 	}
-	if refMix := q.Get("ref"); refMix != "" {
-		refA, ok := s.analysis(w, wlName, refMix)
-		if !ok {
-			return
+	if refMix != "" {
+		refA, status, err := s.analysisFor(wlName, refMix)
+		if err != nil {
+			return EPMetricsResponse{}, status, err
 		}
 		ref := energyprop.Reference{PeakPower: float64(refA.Result.BusyPower)}
 		block := &ReferenceBlock{Mix: refMix, PeakWatts: ref.PeakPower}
@@ -311,6 +360,31 @@ func (s *Server) handleEpmetrics(w http.ResponseWriter, r *http.Request) {
 			block.SublinearFromU, block.SublinearToU = lo, hi
 		}
 		resp.Reference = block
+	}
+	return resp, 0, nil
+}
+
+// handleEpmetrics serves /v1/epmetrics: the Table 3 energy
+// proportionality metrics of one (workload, mix), optionally normalized
+// against a reference mix to expose sub-linear proportionality. GET
+// answers one configuration; POST takes a batch.
+func (s *Server) handleEpmetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.handleEpmetricsBatch(w, r)
+		return
+	}
+	if !allowGetBatch(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	resp, status, err := s.epmetricsFor(q.Get("workload"), q.Get("mix"), q.Get("ref"))
+	if err != nil {
+		code := "bad_request"
+		if status == http.StatusNotFound {
+			code = "not_found"
+		}
+		writeError(w, status, code, err.Error())
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -349,81 +423,128 @@ type FrontierResponse struct {
 	Recommended *FrontierPoint `json:"recommended,omitempty"`
 }
 
-// handleFrontier serves GET /v1/frontier: the energy-deadline Pareto
-// frontier over the A9/K10 mix space, with optional power budget,
-// deadline and energy-budget constraints. The sweep fans out across the
-// worker pool and honors the request deadline.
-func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
-	if !allowGet(w, r) {
-		return
+// frontierParams is the canonical parameter set of one frontier sweep,
+// shared by the GET handler, the batch per-item path and the admission
+// weigher (which charges units proportional to the configuration-space
+// size these parameters span).
+type frontierParams struct {
+	workload      string
+	maxA9, maxK10 int
+	dvfs          bool
+	powerW        float64
+	deadline      float64
+	energy        float64
+}
+
+// frontierQueryParams parses the GET query form of frontierParams,
+// writing the error response on failure.
+func frontierQueryParams(w http.ResponseWriter, q url.Values) (frontierParams, bool) {
+	p := frontierParams{workload: q.Get("workload")}
+	if p.workload == "" {
+		p.workload = "EP"
 	}
-	q := r.URL.Query()
-	wlName := q.Get("workload")
-	if wlName == "" {
-		wlName = "EP"
+	var ok bool
+	if p.maxA9, ok = parseIntParam(w, q.Get("max_a9"), "max_a9", 32); !ok {
+		return p, false
 	}
-	maxA9, ok := parseIntParam(w, q.Get("max_a9"), "max_a9", 32)
-	if !ok {
-		return
+	if p.maxK10, ok = parseIntParam(w, q.Get("max_k10"), "max_k10", 12); !ok {
+		return p, false
 	}
-	maxK10, ok := parseIntParam(w, q.Get("max_k10"), "max_k10", 12)
-	if !ok {
-		return
+	p.dvfs = q.Get("dvfs") == "true" || q.Get("dvfs") == "1"
+	if p.powerW, ok = parseFloatParam(w, q.Get("power"), "power", false); !ok {
+		return p, false
 	}
-	dvfs := q.Get("dvfs") == "true" || q.Get("dvfs") == "1"
-	powerW, ok := parseFloatParam(w, q.Get("power"), "power", false)
-	if !ok {
-		return
-	}
-	var deadline, energy float64
 	if raw := q.Get("deadline"); raw != "" {
 		d, err := parseDurationOrSeconds(raw)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad_request",
 				fmt.Sprintf("invalid deadline %q: %v", raw, err))
-			return
+			return p, false
 		}
-		deadline = d
+		p.deadline = d
 	}
-	if energy, ok = parseFloatParam(w, q.Get("energy"), "energy", false); !ok {
-		return
+	if p.energy, ok = parseFloatParam(w, q.Get("energy"), "energy", false); !ok {
+		return p, false
 	}
+	return p, true
+}
 
-	wl, err := s.cfg.Workloads.Lookup(wlName)
-	if err != nil {
-		writeError(w, http.StatusNotFound, "not_found", err.Error())
-		return
+// frontierPlan resolves the sweep limits for p and checks the
+// configuration-space cap. On failure the returned status is the HTTP
+// status the error maps to. It never touches the ResponseWriter, so the
+// scalar handler, the batch per-item path and the admission weigher all
+// share it.
+func (s *Server) frontierPlan(p frontierParams) (limits []cluster.Limit, space, status int, err error) {
+	if _, err := s.cfg.Workloads.Lookup(p.workload); err != nil {
+		return nil, 0, http.StatusNotFound, err
 	}
 	a9, err := s.cfg.Catalog.Lookup("A9")
 	if err != nil {
-		writeError(w, http.StatusNotFound, "not_found", err.Error())
-		return
+		return nil, 0, http.StatusNotFound, err
 	}
 	k10, err := s.cfg.Catalog.Lookup("K10")
 	if err != nil {
-		writeError(w, http.StatusNotFound, "not_found", err.Error())
-		return
+		return nil, 0, http.StatusNotFound, err
 	}
-	limits := []cluster.Limit{
-		{Type: a9, MaxNodes: maxA9, FixCoresAndFreq: !dvfs},
-		{Type: k10, MaxNodes: maxK10, FixCoresAndFreq: !dvfs},
+	limits = []cluster.Limit{
+		{Type: a9, MaxNodes: p.maxA9, FixCoresAndFreq: !p.dvfs},
+		{Type: k10, MaxNodes: p.maxK10, FixCoresAndFreq: !p.dvfs},
 	}
-	space := cluster.SpaceSize(limits)
+	space = cluster.SpaceSize(limits)
 	if space > s.cfg.MaxFrontierConfigs {
-		writeError(w, http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("configuration space %d exceeds the per-request cap %d; lower max_a9/max_k10 or disable dvfs",
-				space, s.cfg.MaxFrontierConfigs))
-		return
+		return nil, 0, http.StatusBadRequest,
+			fmt.Errorf("configuration space %d exceeds the per-request cap %d; lower max_a9/max_k10 or disable dvfs",
+				space, s.cfg.MaxFrontierConfigs)
 	}
+	return limits, space, 0, nil
+}
 
-	key := fmt.Sprintf("frontier|%s|%d|%d|%t|%g|%g|%g", wlName, maxA9, maxK10, dvfs, powerW, deadline, energy)
-	v, shared, err := s.flights.do(r.Context(), key, func() (any, error) {
-		return s.sweepFrontier(r.Context(), wl.Name, limits, powerW, deadline, energy)
+// frontierShared runs the sweep for p under the singleflight group. The
+// key is built from the canonical parameters, so a scalar GET and a
+// batch item asking for the same sweep coalesce onto one computation.
+func (s *Server) frontierShared(ctx context.Context, p frontierParams, limits []cluster.Limit) (*FrontierResponse, error) {
+	key := fmt.Sprintf("frontier|%s|%d|%d|%t|%g|%g|%g",
+		p.workload, p.maxA9, p.maxK10, p.dvfs, p.powerW, p.deadline, p.energy)
+	v, shared, err := s.flights.do(ctx, key, func() (any, error) {
+		return s.sweepFrontier(ctx, p.workload, limits, p.powerW, p.deadline, p.energy)
 	})
 	if shared {
 		s.ins.coalesced.Inc()
-		telemetry.RequestFrom(r.Context()).Add(telemetry.AttrCoalesced, 1)
+		telemetry.RequestFrom(ctx).Add(telemetry.AttrCoalesced, 1)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return v.(*FrontierResponse), nil
+}
+
+// handleFrontier serves /v1/frontier: the energy-deadline Pareto
+// frontier over the A9/K10 mix space, with optional power budget,
+// deadline and energy-budget constraints. The sweep fans out across the
+// worker pool and honors the request deadline. GET answers one sweep;
+// POST takes a batch.
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.handleFrontierBatch(w, r)
+		return
+	}
+	if !allowGetBatch(w, r) {
+		return
+	}
+	p, ok := frontierQueryParams(w, r.URL.Query())
+	if !ok {
+		return
+	}
+	limits, _, status, err := s.frontierPlan(p)
+	if err != nil {
+		code := "bad_request"
+		if status == http.StatusNotFound {
+			code = "not_found"
+		}
+		writeError(w, status, code, err.Error())
+		return
+	}
+	v, err := s.frontierShared(r.Context(), p, limits)
 	if err != nil {
 		s.computeError(w, r, err)
 		return
@@ -577,6 +698,18 @@ func (s *Server) computeError(w http.ResponseWriter, r *http.Request, err error)
 func allowGet(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("method %s not allowed", r.Method))
+		return false
+	}
+	return true
+}
+
+// allowGetBatch enforces GET/HEAD on the batch-capable endpoints, whose
+// POST form was already dispatched; the Allow header advertises it.
+func allowGetBatch(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD, POST")
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
 			fmt.Sprintf("method %s not allowed", r.Method))
 		return false

@@ -7,8 +7,12 @@ import "repro/internal/telemetry"
 // histograms come from telemetry.HTTPMiddleware; these cover the
 // cross-cutting admission, coalescing and failure paths.
 type instruments struct {
-	// admitted counts requests that acquired an execution slot.
+	// admitted counts requests that acquired execution units.
 	admitted *telemetry.Counter
+	// admittedUnits counts the admission units those requests charged:
+	// a scalar request costs 1, a batch of N items costs N, a frontier
+	// sweep costs units proportional to its configuration-space size.
+	admittedUnits *telemetry.Counter
 	// shed counts requests rejected with 429 because the wait queue was
 	// full.
 	shed *telemetry.Counter
@@ -23,15 +27,24 @@ type instruments struct {
 	// deadlineExceeded counts requests that ran out of deadline — while
 	// queued or while computing — and were answered with 504.
 	deadlineExceeded *telemetry.Counter
-	// inflight is the number of requests currently holding a slot.
+	// inflight is the number of admission units currently held by
+	// executing requests.
 	inflight *telemetry.Gauge
-	// queueDepth is the number of requests currently waiting for a slot.
+	// queueDepth is the number of requests currently waiting for units.
 	queueDepth *telemetry.Gauge
+
+	// batchRequests counts batch (POST) evaluation requests; batchItems
+	// the expanded per-item evaluations they carried; batchItemErrors
+	// the items that failed with a per-item error envelope.
+	batchRequests   *telemetry.Counter
+	batchItems      *telemetry.Counter
+	batchItemErrors *telemetry.Counter
 }
 
 func newInstruments(reg *telemetry.Registry) instruments {
 	return instruments{
 		admitted:         reg.Counter("serve.admitted"),
+		admittedUnits:    reg.Counter("serve.admitted_units"),
 		shed:             reg.Counter("serve.shed"),
 		queueWaits:       reg.Counter("serve.queue_waits"),
 		coalesced:        reg.Counter("serve.coalesced"),
@@ -39,5 +52,8 @@ func newInstruments(reg *telemetry.Registry) instruments {
 		deadlineExceeded: reg.Counter("serve.deadline_exceeded"),
 		inflight:         reg.Gauge("serve.inflight"),
 		queueDepth:       reg.Gauge("serve.queue_depth"),
+		batchRequests:    reg.Counter("serve.batch.requests"),
+		batchItems:       reg.Counter("serve.batch.items"),
+		batchItemErrors:  reg.Counter("serve.batch.item_errors"),
 	}
 }

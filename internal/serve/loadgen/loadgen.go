@@ -1,11 +1,17 @@
-// Package loadgen is a closed-loop HTTP load driver for epserve: a
-// fixed number of workers issue requests back-to-back against a target
-// for a fixed duration, recording status-code counts and client-side
-// latency percentiles. It backs the overload tests and the
-// `make serve-smoke` gate, which fails the build on any 5xx.
+// Package loadgen is an HTTP load driver for epserve with two arrival
+// models: closed-loop (a fixed number of workers issue requests
+// back-to-back — throughput floats with the server) and open-loop (a
+// fixed arrival rate with latency measured from each request's
+// scheduled arrival time, immune to coordinated omission — the model a
+// capacity benchmark needs). Targets may be GET paths or POST bodies
+// (the batch endpoints), and the result separates transport errors,
+// non-2xx responses and per-item batch errors. It backs the overload
+// tests, the `make serve-smoke` gate and the `make bench-serve`
+// capacity benchmark.
 package loadgen
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,24 +19,63 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/serve"
 )
 
+// Target is one request in the load mix: a GET path, or a POST with a
+// JSON body when Body is non-nil.
+type Target struct {
+	// Method is the HTTP method; empty means GET (POST when Body is set).
+	Method string
+	// Path is the request path with query, e.g. "/v1/percentiles?d=1&u=0.9".
+	Path string
+	// Body is the JSON request body for batch (POST) targets.
+	Body []byte
+}
+
+func (t Target) method() string {
+	if t.Method != "" {
+		return t.Method
+	}
+	if t.Body != nil {
+		return http.MethodPost
+	}
+	return http.MethodGet
+}
+
 // Config parameterizes a load run.
 type Config struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// Paths are request paths (with query) cycled through by each worker;
-	// empty uses a default mix of percentile queries.
+	// Paths are GET request paths (with query) cycled through by the
+	// workers; used when Targets is empty. Empty uses a default mix of
+	// percentile queries.
 	Paths []string
-	// Concurrency is the number of closed-loop workers; 0 means 8.
+	// Targets generalizes Paths to mixed-method targets (batch POSTs).
+	// When set, Paths is ignored.
+	Targets []Target
+	// Concurrency is the worker count: the closed-loop parallelism, or
+	// the maximum in-flight requests in open-loop mode; 0 means 8.
 	Concurrency int
-	// Duration is how long workers keep issuing requests; 0 means 5s.
+	// Duration is how long arrivals keep coming; 0 means 5s.
 	Duration time.Duration
+	// Rate switches to open-loop mode: arrivals are scheduled at this
+	// fixed rate (per second, across all targets) for Duration, and each
+	// request's latency is measured from its scheduled arrival — a
+	// saturated server therefore shows queueing delay instead of
+	// silently slowing the generator down (coordinated omission). 0
+	// keeps the closed loop.
+	Rate float64
+	// DrainGrace bounds how long past Duration an open-loop run may keep
+	// working through its arrival backlog before the remaining arrivals
+	// are dropped (and reported as Dropped); 0 means 5s.
+	DrainGrace time.Duration
 	// Client issues the requests; nil uses a client with a 30s timeout.
 	Client *http.Client
 }
@@ -56,14 +101,29 @@ type Result struct {
 	// (dial errors, timeouts). Context cancellation at the end of the run
 	// is not counted.
 	TransportErrors int
+	// Non2xx counts responses whose status was outside [200, 300) —
+	// application-level rejections (shed, bad request, deadline),
+	// reported separately from transport failures.
+	Non2xx int
+	// BatchItemErrors sums the X-Batch-Errors headers of batch
+	// responses: evaluations that failed inside otherwise-200 batches.
+	BatchItemErrors int
+	// Offered is the open-loop arrival rate (0 for closed-loop runs).
+	Offered float64
+	// Dropped counts open-loop arrivals never issued because the run hit
+	// Duration + DrainGrace with a backlog — a sign the offered rate is
+	// far past capacity.
+	Dropped int
 	// Elapsed is the wall-clock span of the run.
 	Elapsed time.Duration
-	// latencies holds every successful request's client-side latency,
-	// sorted ascending.
+	// latencies holds every completed request's latency, sorted
+	// ascending. Open-loop latency runs from the scheduled arrival, not
+	// the actual send.
 	latencies []time.Duration
 }
 
-// Throughput returns completed requests per second.
+// Throughput returns completed requests per second (the achieved rate
+// in open-loop mode).
 func (r *Result) Throughput() float64 {
 	if r.Elapsed <= 0 {
 		return 0
@@ -99,7 +159,12 @@ func (r *Result) Count5xx() int {
 // String formats the run summary as a human-readable block.
 func (r *Result) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "requests  %d in %v (%.0f req/s)\n", r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput())
+	if r.Offered > 0 {
+		fmt.Fprintf(&b, "requests  %d in %v (offered %.0f req/s, achieved %.0f req/s)\n",
+			r.Requests, r.Elapsed.Round(time.Millisecond), r.Offered, r.Throughput())
+	} else {
+		fmt.Fprintf(&b, "requests  %d in %v (%.0f req/s)\n", r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput())
+	}
 	codes := make([]int, 0, len(r.Status))
 	for code := range r.Status {
 		codes = append(codes, code)
@@ -108,8 +173,17 @@ func (r *Result) String() string {
 	for _, code := range codes {
 		fmt.Fprintf(&b, "  status %d: %d\n", code, r.Status[code])
 	}
+	if r.Non2xx > 0 {
+		fmt.Fprintf(&b, "  non-2xx responses: %d\n", r.Non2xx)
+	}
+	if r.BatchItemErrors > 0 {
+		fmt.Fprintf(&b, "  batch item errors: %d\n", r.BatchItemErrors)
+	}
 	if r.TransportErrors > 0 {
 		fmt.Fprintf(&b, "  transport errors: %d\n", r.TransportErrors)
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "  dropped arrivals: %d (backlog past drain grace)\n", r.Dropped)
 	}
 	fmt.Fprintf(&b, "latency   p50 %v  p95 %v  p99 %v",
 		r.Latency(50).Round(time.Microsecond),
@@ -178,16 +252,75 @@ func secondsDuration(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
 }
 
-// Run drives the load: Concurrency workers issue the Paths mix
-// back-to-back until Duration elapses or ctx is cancelled, then the
-// per-worker tallies merge into one Result.
+// tally is one worker's private aggregation, merged after the run.
+type tally struct {
+	requests  int
+	status    map[int]int
+	transport int
+	non2xx    int
+	batchErrs int
+	latencies []time.Duration
+}
+
+// issue sends one target request and records it. base is the latency
+// origin: the scheduled arrival in open-loop mode, the send time in
+// closed-loop mode. It returns false when the request was cut off by
+// the run's end rather than failing.
+func issue(ctx context.Context, client *http.Client, baseURL string, tgt Target, base time.Time, t *tally) bool {
+	var body io.Reader
+	if tgt.Body != nil {
+		body = bytes.NewReader(tgt.Body)
+	}
+	req, err := http.NewRequestWithContext(ctx, tgt.method(), baseURL+tgt.Path, body)
+	if err != nil {
+		t.transport++
+		return true
+	}
+	if tgt.Body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t.requests++
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			t.requests-- // cut off by end-of-run, not a real failure
+			return false
+		}
+		t.transport++
+		return true
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	t.status[resp.StatusCode]++
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		t.non2xx++
+	}
+	if hdr := resp.Header.Get("X-Batch-Errors"); hdr != "" {
+		if n, err := strconv.Atoi(hdr); err == nil {
+			t.batchErrs += n
+		}
+	}
+	t.latencies = append(t.latencies, time.Since(base))
+	return true
+}
+
+// Run drives the load against cfg.BaseURL and merges the per-worker
+// tallies into one Result. With Rate set the run is open-loop;
+// otherwise Concurrency workers issue requests back-to-back.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.BaseURL == "" {
 		return nil, errors.New("loadgen: BaseURL required")
 	}
-	paths := cfg.Paths
-	if len(paths) == 0 {
-		paths = DefaultPaths
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		paths := cfg.Paths
+		if len(paths) == 0 {
+			paths = DefaultPaths
+		}
+		targets = make([]Target, len(paths))
+		for i, p := range paths {
+			targets[i] = Target{Path: p}
+		}
 	}
 	workers := cfg.Concurrency
 	if workers <= 0 {
@@ -201,16 +334,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
+	if cfg.Rate > 0 {
+		return runOpen(ctx, cfg, targets, workers, dur, client)
+	}
+	return runClosed(ctx, cfg, targets, workers, dur, client)
+}
 
+// runClosed is the closed loop: workers issue back-to-back until the
+// duration elapses; latency runs from each request's send time.
+func runClosed(ctx context.Context, cfg Config, targets []Target, workers int, dur time.Duration, client *http.Client) (*Result, error) {
 	ctx, cancel := context.WithTimeout(ctx, dur)
 	defer cancel()
 
-	type tally struct {
-		requests  int
-		status    map[int]int
-		transport int
-		latencies []time.Duration
-	}
 	tallies := make([]tally, workers)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -221,42 +356,98 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			t := &tallies[w]
 			t.status = make(map[int]int)
 			for i := 0; ctx.Err() == nil; i++ {
-				url := cfg.BaseURL + paths[(w+i)%len(paths)]
-				req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-				if err != nil {
-					t.transport++
-					continue
+				if !issue(ctx, client, cfg.BaseURL, targets[(w+i)%len(targets)], time.Now(), t) {
+					return
 				}
-				t.requests++
-				reqStart := time.Now()
-				resp, err := client.Do(req)
-				if err != nil {
-					if ctx.Err() != nil {
-						t.requests-- // cut off by end-of-run, not a real failure
-						return
-					}
-					t.transport++
-					continue
-				}
-				io.Copy(io.Discard, resp.Body) //nolint:errcheck
-				resp.Body.Close()
-				t.status[resp.StatusCode]++
-				t.latencies = append(t.latencies, time.Since(reqStart))
 			}
 		}(w)
 	}
 	wg.Wait()
+	return merge(tallies, time.Since(start), 0, 0), nil
+}
 
-	res := &Result{Status: make(map[int]int), Elapsed: time.Since(start)}
+// runOpen is the open loop: arrivals are pre-scheduled on a fixed-rate
+// grid over the duration and handed to workers in order; each worker
+// sleeps until its arrival's scheduled time (or starts late when the
+// backlog has it behind schedule) and measures latency from that
+// scheduled time. A server past saturation therefore accumulates
+// backlog that shows up as latency — the generator never slows its
+// arrival process to match the server (coordinated omission).
+func runOpen(ctx context.Context, cfg Config, targets []Target, workers int, dur time.Duration, client *http.Client) (*Result, error) {
+	grace := cfg.DrainGrace
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	total := int64(cfg.Rate * dur.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	ctx, cancel := context.WithTimeout(ctx, dur+grace)
+	defer cancel()
+
+	tallies := make([]tally, workers)
+	var next, attempts atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur + grace)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := &tallies[w]
+			t.status = make(map[int]int)
+			timer := time.NewTimer(0)
+			defer timer.Stop()
+			<-timer.C
+			for {
+				i := next.Add(1) - 1
+				if i >= total {
+					return
+				}
+				if time.Now().After(deadline) || ctx.Err() != nil {
+					next.Store(total) // stop the other workers too
+					return
+				}
+				sched := start.Add(time.Duration(i) * interval)
+				if d := time.Until(sched); d > 0 {
+					timer.Reset(d)
+					select {
+					case <-timer.C:
+					case <-ctx.Done():
+						next.Store(total)
+						return
+					}
+				}
+				attempts.Add(1)
+				if !issue(ctx, client, cfg.BaseURL, targets[i%int64(len(targets))], sched, t) {
+					attempts.Add(-1) // cut off mid-flight: counts as dropped
+					next.Store(total)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every arrival on the grid was either attempted or dropped — the
+	// difference needs no per-worker race accounting.
+	return merge(tallies, time.Since(start), cfg.Rate, int(total-attempts.Load())), nil
+}
+
+// merge folds the per-worker tallies into one Result.
+func merge(tallies []tally, elapsed time.Duration, offered float64, dropped int) *Result {
+	res := &Result{Status: make(map[int]int), Elapsed: elapsed, Offered: offered, Dropped: dropped}
 	for i := range tallies {
 		t := &tallies[i]
 		res.Requests += t.requests
 		res.TransportErrors += t.transport
+		res.Non2xx += t.non2xx
+		res.BatchItemErrors += t.batchErrs
 		for code, c := range t.status {
 			res.Status[code] += c
 		}
 		res.latencies = append(res.latencies, t.latencies...)
 	}
 	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
-	return res, nil
+	return res
 }

@@ -59,3 +59,81 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal("empty BaseURL accepted")
 	}
 }
+
+// TestOpenLoop: a modest fixed-rate run against a healthy server
+// achieves (approximately) the offered rate, reports it, and carries
+// batch POST targets whose per-item errors surface separately.
+func TestOpenLoop(t *testing.T) {
+	srv, err := serve.New(serve.Config{Telemetry: telemetry.New()})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One item is invalid (u out of range) -> one batch item error per
+	// batch response.
+	batchBody := []byte(`{"p":[99],"items":[{"d":1,"u":[0.5]},{"d":1,"u":[1.5]}]}`)
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     ts.URL,
+		Targets:     []loadgen.Target{{Path: "/v1/percentiles", Body: batchBody}},
+		Concurrency: 4,
+		Duration:    500 * time.Millisecond,
+		Rate:        100,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Offered != 100 {
+		t.Fatalf("Offered = %g, want 100", res.Offered)
+	}
+	if res.Requests < 40 || res.Requests > 55 {
+		t.Fatalf("open loop issued %d requests at 100/s over 0.5s, want ~50", res.Requests)
+	}
+	if res.Dropped != 0 || res.TransportErrors != 0 {
+		t.Fatalf("dropped=%d transport=%d, want 0/0", res.Dropped, res.TransportErrors)
+	}
+	if res.Status[200] != res.Requests {
+		t.Fatalf("status map %v, want all 200", res.Status)
+	}
+	if res.BatchItemErrors != res.Requests {
+		t.Fatalf("BatchItemErrors = %d, want %d (one per batch)", res.BatchItemErrors, res.Requests)
+	}
+	if res.Non2xx != 0 {
+		t.Fatalf("Non2xx = %d, want 0", res.Non2xx)
+	}
+	out := res.String()
+	for _, want := range []string{"offered 100 req/s", "achieved", "batch item errors"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary %q missing %q", out, want)
+		}
+	}
+}
+
+// TestOpenLoopNon2xx: application-level rejections (400s) are counted
+// as non-2xx, not transport errors.
+func TestOpenLoopNon2xx(t *testing.T) {
+	srv, err := serve.New(serve.Config{Telemetry: telemetry.New()})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     ts.URL,
+		Paths:       []string{"/v1/percentiles?d=1&u=1.5"}, // always 400
+		Concurrency: 2,
+		Duration:    200 * time.Millisecond,
+		Rate:        50,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Non2xx != res.Requests || res.Requests == 0 {
+		t.Fatalf("Non2xx = %d of %d requests, want all", res.Non2xx, res.Requests)
+	}
+	if res.TransportErrors != 0 {
+		t.Fatalf("transport errors %d, want 0", res.TransportErrors)
+	}
+}

@@ -261,9 +261,9 @@ func TestAccessLogShedOutcome(t *testing.T) {
 	// Hold the only slot so the next request sheds.
 	release := make(chan struct{})
 	go func() {
-		srv.lim.acquire(context.Background()) //nolint:errcheck // free slot guaranteed
+		rel, _ := srv.lim.acquire(context.Background(), 1) // free slot guaranteed
 		<-release
-		srv.lim.release()
+		rel()
 	}()
 	for srv.ins.inflight.Value() == 0 {
 		time.Sleep(time.Millisecond)

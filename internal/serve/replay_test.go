@@ -252,14 +252,15 @@ func TestReplayOverload(t *testing.T) {
 	release := make(chan struct{})
 	acquired := make(chan struct{})
 	go func() {
-		if err := srv.lim.acquire(context.Background()); err != nil {
+		rel, err := srv.lim.acquire(context.Background(), 1)
+		if err != nil {
 			t.Error(err)
 			close(acquired)
 			return
 		}
 		close(acquired)
 		<-release
-		srv.lim.release()
+		rel()
 	}()
 	<-acquired
 

@@ -55,9 +55,9 @@ func TestEndpoints(t *testing.T) {
 		status     int
 		contains   string
 	}{
-		{"percentiles raw", "/v1/percentiles?d=1&u=0.9", 200, `"mean_wait_seconds": 4.5`},
+		{"percentiles raw", "/v1/percentiles?d=1&u=0.9", 200, `"mean_wait_seconds":4.5`},
 		{"percentiles model", "/v1/percentiles?workload=EP&mix=32xA9,12xK10&u=0.5&p=95", 200, `"percentiles"`},
-		{"percentiles default ps", "/v1/percentiles?d=0.5&u=0", 200, `"p": 99`},
+		{"percentiles default ps", "/v1/percentiles?d=0.5&u=0", 200, `"p":99`},
 		{"percentiles missing u", "/v1/percentiles?d=1", 400, "missing u="},
 		{"percentiles bad u", "/v1/percentiles?d=1&u=1.5", 400, "outside [0, 1)"},
 		{"percentiles unstable", "/v1/percentiles?d=-2&u=0.9", 400, "positive"},
@@ -93,16 +93,21 @@ func TestEndpoints(t *testing.T) {
 
 func TestMethodNotAllowed(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	resp, err := http.Post(ts.URL+"/v1/percentiles?d=1&u=0.5", "application/json", nil)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/percentiles?d=1&u=0.5", nil)
 	if err != nil {
-		t.Fatalf("POST: %v", err)
+		t.Fatalf("NewRequest: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("POST status %d, want 405", resp.StatusCode)
+		t.Fatalf("DELETE status %d, want 405", resp.StatusCode)
 	}
-	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
-		t.Fatalf("Allow header %q, want GET", allow)
+	allow := resp.Header.Get("Allow")
+	if !strings.Contains(allow, "GET") || !strings.Contains(allow, "POST") {
+		t.Fatalf("Allow header %q, want GET and POST", allow)
 	}
 }
 

@@ -3,14 +3,16 @@ package serve
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // flightCall is one in-flight computation; done closes when val/err are
 // settled.
 type flightCall struct {
-	done chan struct{}
-	val  any
-	err  error
+	done    chan struct{}
+	waiters atomic.Int64
+	val     any
+	err     error
 }
 
 // flightGroup coalesces concurrent identical requests: the first caller
@@ -34,6 +36,7 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
+		c.waiters.Add(1)
 		select {
 		case <-c.done:
 			return c.val, true, c.err
@@ -55,4 +58,17 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)
 	g.mu.Unlock()
 	close(c.done)
 	return c.val, false, c.err
+}
+
+// waiting reports how many followers are currently blocked on key's
+// in-flight call (0 when key is not in flight). Tests use it to
+// sequence deterministic coalescing scenarios.
+func (g *flightGroup) waiting(key string) int64 {
+	g.mu.Lock()
+	c, ok := g.m[key]
+	g.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.waiters.Load()
 }

@@ -34,6 +34,9 @@ const (
 	// AttrSweepItems counts work items dispatched through the sweep
 	// worker pool on behalf of the request.
 	AttrSweepItems = "sweep_items"
+	// AttrBatchItems counts the expanded per-item evaluations a batch
+	// (POST) request carried.
+	AttrBatchItems = "batch_items"
 )
 
 // ParseLogLevel maps the conventional level names onto slog levels.
