@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race vet staticcheck check ci serve-smoke logs-demo bench bench-queueing bench-frontier bench-serve bench-serve-smoke reproduce examples fuzz fuzz-smoke golden clean
+.PHONY: all build test test-race race vet staticcheck check ci serve-smoke fleet-smoke logs-demo bench bench-queueing bench-frontier bench-serve bench-serve-smoke reproduce examples fuzz fuzz-smoke golden clean
 
 all: build vet test
 
@@ -40,6 +40,15 @@ check:
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
+# fleet-smoke schema-checks every shipped scenario file, then runs the
+# fleet simulator's scenario pipeline under the race detector on a tiny
+# scenario (the shared-clock loop and chaos layer are the structures a
+# data race would corrupt silently).
+fleet-smoke:
+	$(GO) run ./cmd/epfleet -check examples/scenarios/*.yaml
+	$(GO) test -race -run 'TestExamplesRun|TestSeedOverrideChangesChaos' ./cmd/epfleet/
+	$(GO) test -race -run 'TestSeedReproducibility$$|TestChaosBackgroundThrottleAndCaps' ./internal/fleet/
+
 # logs-demo boots epserve with debug-level JSON logs on an ephemeral
 # port, drives a short loadgen burst, and prints the structured access
 # logs — the quickest way to see the request-scoped observability
@@ -67,8 +76,9 @@ race: test-race
 # (queueing percentile cache, serve streaming, replay fan-out, and the
 # memoized frontier engine's shared unit-calc table), the frontier
 # fast-vs-reference differential smoke over the full footnote-4 space,
-# the epserve end-to-end smoke, and a short fuzz smoke over the parser
-# and kernel differential targets.
+# the epserve end-to-end smoke, the fleet-scenario smoke (schema checks
+# plus race-detected runs), and a short fuzz smoke over the parser and
+# kernel differential targets.
 ci:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -80,6 +90,7 @@ ci:
 	$(GO) test -run TestTableDifferentialPaperSpace ./internal/model/
 	$(GO) test -race -short -run 'TestFastSweep|TestFrontier' ./internal/pareto/
 	$(MAKE) serve-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) bench-serve-smoke
 	$(MAKE) fuzz-smoke
 

@@ -1,0 +1,207 @@
+// Command epfleet runs a declarative fleet scenario: a YAML file
+// describing a heterogeneous fleet, its offered load, background chaos
+// (failures, DVFS throttling, power caps, stragglers), timed events and
+// end-of-run assertions. See docs/SCENARIOS.md for the language and
+// examples/scenarios/ for runnable files.
+//
+// Usage:
+//
+//	epfleet scenario.yaml                 run and print the text summary
+//	epfleet -json scenario.yaml           machine-readable result
+//	epfleet -seed 7 scenario.yaml         override the scenario seed
+//	epfleet -check a.yaml b.yaml ...      validate files without running
+//
+// The exit status is non-zero when the scenario fails to load, the run
+// errors, or any assertion fails.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/fleet"
+	"repro/internal/hardware"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+)
+
+type options struct {
+	seed      uint64
+	seedSet   bool
+	jsonOut   bool
+	check     bool
+	chaosLog  bool
+	nodes     string
+	workloads string
+}
+
+func main() {
+	var o options
+	flag.Uint64Var(&o.seed, "seed", 0, "override the scenario's seed")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the result as JSON")
+	flag.BoolVar(&o.check, "check", false, "parse and build the scenario files, report problems, do not run")
+	flag.BoolVar(&o.chaosLog, "chaos-log", false, "include the chaos event log in the output")
+	flag.StringVar(&o.nodes, "nodes", "", "JSON file with extra node types")
+	flag.StringVar(&o.workloads, "workloads", "", "JSON file with extra workload profiles")
+	tel := cli.AddTelemetryFlags(nil)
+	flag.Parse()
+	o.seedSet = false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			o.seedSet = true
+		}
+	})
+
+	if err := tel.Start(); err != nil {
+		cli.Fatal("epfleet", err)
+	}
+	err := run(o, flag.Args(), os.Stdout)
+	if cerr := tel.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		cli.Fatal("epfleet", err)
+	}
+}
+
+func run(o options, args []string, w io.Writer) error {
+	catalog, registry, err := cli.LoadEnvironment(o.nodes, o.workloads)
+	if err != nil {
+		return err
+	}
+
+	if o.check {
+		if len(args) == 0 {
+			return errors.New("epfleet: -check needs at least one scenario file")
+		}
+		bad := 0
+		for _, path := range args {
+			if err := checkOne(path, catalog, registry, w); err != nil {
+				fmt.Fprintf(w, "%s: %v\n", path, err)
+				bad++
+			}
+		}
+		if bad > 0 {
+			return fmt.Errorf("epfleet: %d of %d scenario files failed validation", bad, len(args))
+		}
+		return nil
+	}
+
+	if len(args) != 1 {
+		return errors.New("epfleet: need exactly one scenario file (or -check with several)")
+	}
+	sc, err := scenario.Load(args[0])
+	if err != nil {
+		return err
+	}
+	if o.seedSet {
+		sc.Seed = o.seed
+	}
+	spec, err := sc.Build(catalog, registry)
+	if err != nil {
+		return err
+	}
+	sim, err := fleet.New(spec)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return err
+	}
+	fails := sc.CheckAll(res.Summary)
+
+	if o.jsonOut {
+		if err := writeJSON(w, sc, res, fails, o.chaosLog); err != nil {
+			return err
+		}
+	} else {
+		writeText(w, sc, res, fails, o.chaosLog)
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("epfleet: %d of %d assertions failed", len(fails), len(sc.Asserts))
+	}
+	return nil
+}
+
+func checkOne(path string, catalog *hardware.Catalog, registry *workload.Registry, w io.Writer) error {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	spec, err := sc.Build(catalog, registry)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: ok (%d nodes, %v, %d events, %d assertions)\n",
+		path, spec.NodeCount(), spec.Duration, len(sc.Events), len(sc.Asserts))
+	return nil
+}
+
+// assertionResult is the JSON form of one checked assertion.
+type assertionResult struct {
+	Assertion string `json:"assertion"`
+	Pass      bool   `json:"pass"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+func assertionResults(sc *scenario.Scenario, sum fleet.Summary) []assertionResult {
+	out := make([]assertionResult, 0, len(sc.Asserts))
+	for _, a := range sc.Asserts {
+		r := assertionResult{Assertion: a.String(), Pass: true}
+		if err := a.Check(sum); err != nil {
+			r.Pass = false
+			r.Detail = err.Error()
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func writeJSON(w io.Writer, sc *scenario.Scenario, res *fleet.Result, fails []error, chaosLog bool) error {
+	out := struct {
+		Summary    fleet.Summary       `json:"summary"`
+		Assertions []assertionResult   `json:"assertions,omitempty"`
+		ChaosCount int                 `json:"chaos_event_count"`
+		ChaosLog   []fleet.ChaosRecord `json:"chaos_log,omitempty"`
+	}{
+		Summary:    res.Summary,
+		Assertions: assertionResults(sc, res.Summary),
+		ChaosCount: len(res.ChaosLog),
+	}
+	if chaosLog {
+		out.ChaosLog = res.ChaosLog
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func writeText(w io.Writer, sc *scenario.Scenario, res *fleet.Result, fails []error, chaosLog bool) {
+	fmt.Fprint(w, res.Summary.String())
+	fmt.Fprintf(w, "chaos events: %d\n", len(res.ChaosLog))
+	if chaosLog {
+		for _, r := range res.ChaosLog {
+			fmt.Fprintf(w, "  t=%-10.3f node %-5d %s\n", r.Time, r.Node, r.Kind)
+		}
+	}
+	if len(sc.Asserts) > 0 {
+		fmt.Fprintf(w, "assertions: %d/%d passed\n", len(sc.Asserts)-len(fails), len(sc.Asserts))
+		for _, r := range assertionResults(sc, res.Summary) {
+			mark := "PASS"
+			if !r.Pass {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(w, "  %s  %s", mark, r.Assertion)
+			if r.Detail != "" {
+				fmt.Fprintf(w, "  (%s)", r.Detail)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

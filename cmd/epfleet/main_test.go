@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+const examplesDir = "../../examples/scenarios"
+
+func exampleFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(examplesDir, "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no example scenarios found")
+	}
+	return files
+}
+
+// TestExamplesRun executes every shipped example end to end; their
+// embedded assertions double as expectations.
+func TestExamplesRun(t *testing.T) {
+	for _, path := range exampleFiles(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(options{}, []string{path}, &sb); err != nil {
+				t.Fatalf("%v\noutput:\n%s", err, sb.String())
+			}
+			if !strings.Contains(sb.String(), "PASS") && strings.Contains(sb.String(), "assertions") {
+				t.Errorf("no passing assertions reported:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run(options{check: true}, exampleFiles(t), &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if !strings.Contains(line, ": ok (") {
+			t.Errorf("check line not ok: %q", line)
+		}
+	}
+
+	// A broken file is reported with a non-zero result.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.yaml")
+	if err := os.WriteFile(bad, []byte("workload: EP\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run(options{check: true}, []string{bad}, &sb); err == nil {
+		t.Error("-check accepted an invalid scenario")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := filepath.Join(examplesDir, "steady-state.yaml")
+	var sb strings.Builder
+	if err := run(options{jsonOut: true}, []string{path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Summary    fleet.Summary `json:"summary"`
+		Assertions []struct {
+			Pass bool `json:"pass"`
+		} `json:"assertions"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if out.Summary.Nodes != 10 || out.Summary.Name != "steady-state" {
+		t.Errorf("summary = %+v", out.Summary)
+	}
+	for i, a := range out.Assertions {
+		if !a.Pass {
+			t.Errorf("assertion %d failed", i)
+		}
+	}
+}
+
+func TestSeedOverrideChangesChaos(t *testing.T) {
+	path := filepath.Join(examplesDir, "chaos-fleet.yaml")
+	render := func(o options) string {
+		var sb strings.Builder
+		if err := run(o, []string{path}, &sb); err != nil {
+			t.Fatalf("%v\noutput:\n%s", err, sb.String())
+		}
+		return sb.String()
+	}
+	base := render(options{jsonOut: true})
+	same := render(options{jsonOut: true})
+	if base != same {
+		t.Error("same scenario and seed produced different output")
+	}
+	other := render(options{jsonOut: true, seedSet: true, seed: 7})
+	if base == other {
+		t.Error("overriding the seed did not change the run")
+	}
+}
+
+func TestAssertionFailureIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fail.yaml")
+	src := `
+workload: EP
+duration: 10s
+fleet:
+  - type: A9
+    count: 2
+assertions:
+  - metric: failures
+    op: ">"
+    value: 100
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run(options{}, []string{path}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "assertions failed") {
+		t.Fatalf("err = %v, want assertion failure", err)
+	}
+	if !strings.Contains(sb.String(), "FAIL") {
+		t.Errorf("failure not rendered:\n%s", sb.String())
+	}
+}

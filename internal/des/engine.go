@@ -136,31 +136,72 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.dead = true
 }
 
+// purgeDead pops cancelled events off the head of the queue so the
+// queue head, when present, is the next live event. Cancelled events
+// were already counted by Cancel; dropping them here is bookkeeping
+// only.
+func (e *Engine) purgeDead() {
+	for len(e.queue) > 0 && e.queue[0].dead {
+		heap.Pop(&e.queue)
+	}
+}
+
+// HasPendingEvents reports whether any live (non-cancelled) event is
+// still queued. Together with PeekNextEventTime and ProcessNextEvent it
+// forms the step interface a multi-engine coordinator (internal/fleet)
+// uses to interleave several engines in global timestamp order.
+func (e *Engine) HasPendingEvents() bool {
+	e.purgeDead()
+	return len(e.queue) > 0
+}
+
+// PeekNextEventTime returns the virtual time of the earliest live event
+// without executing it. The second return is false when no live event
+// is pending.
+func (e *Engine) PeekNextEventTime() (float64, bool) {
+	e.purgeDead()
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].Time, true
+}
+
+// ProcessNextEvent advances the clock to the earliest live event and
+// executes it. It returns false (executing nothing) when the queue holds
+// no live event. Unlike Run it ignores any horizon: the caller decides
+// when to stop by inspecting PeekNextEventTime first.
+func (e *Engine) ProcessNextEvent() bool {
+	e.purgeDead()
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*Event)
+	e.now = next.Time
+	next.Action()
+	e.nsteps++
+	e.evFired.Inc()
+	e.queueDepth.Set(float64(len(e.queue)))
+	return true
+}
+
 // Run executes events until the queue empties or the clock would pass
 // until (exclusive); events at exactly until still run. Pass +Inf to
 // drain the queue. It returns the number of events executed.
 func (e *Engine) Run(until float64) uint64 {
 	executed := uint64(0)
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.Time > until {
+	for {
+		t, ok := e.PeekNextEventTime()
+		if !ok || t > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		if next.dead {
-			continue
-		}
-		e.now = next.Time
-		next.Action()
-		e.nsteps++
+		e.ProcessNextEvent()
 		executed++
 	}
-	if until > e.now && !math.IsInf(until, 1) && len(e.queue) == 0 {
+	if until > e.now && !math.IsInf(until, 1) && !e.HasPendingEvents() {
 		// Advance the clock to the horizon once idle, so observation
 		// windows longer than the workload read the correct duration.
 		e.now = until
 	}
-	e.evFired.Add(executed)
 	e.queueDepth.Set(float64(len(e.queue)))
 	return executed
 }

@@ -184,3 +184,124 @@ func TestManyEventsHeapStress(t *testing.T) {
 		t.Errorf("executed %d, want %d", count, n)
 	}
 }
+
+func TestStepPrimitives(t *testing.T) {
+	e := New()
+	var order []int
+	for i, d := range []float64{3, 1, 2} {
+		i, d := i, d
+		if _, err := e.Schedule(d, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.HasPendingEvents() {
+		t.Fatal("HasPendingEvents = false with 3 queued events")
+	}
+	tm, ok := e.PeekNextEventTime()
+	if !ok || tm != 1 {
+		t.Fatalf("PeekNextEventTime = %g, %v; want 1, true", tm, ok)
+	}
+	if e.Now() != 0 {
+		t.Errorf("peek advanced the clock to %g", e.Now())
+	}
+	steps := 0
+	for e.HasPendingEvents() {
+		if !e.ProcessNextEvent() {
+			t.Fatal("ProcessNextEvent = false with pending events")
+		}
+		steps++
+	}
+	if steps != 3 {
+		t.Errorf("stepped %d events, want 3", steps)
+	}
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("clock = %g, want 3", e.Now())
+	}
+	if e.ProcessNextEvent() {
+		t.Error("ProcessNextEvent = true on an empty queue")
+	}
+	if _, ok := e.PeekNextEventTime(); ok {
+		t.Error("PeekNextEventTime ok on an empty queue")
+	}
+}
+
+func TestPeekSkipsCancelledEvents(t *testing.T) {
+	e := New()
+	ev, err := e.Schedule(1, func() { t.Error("cancelled event fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Schedule(2, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Cancel(ev)
+	tm, ok := e.PeekNextEventTime()
+	if !ok || tm != 2 {
+		t.Fatalf("PeekNextEventTime = %g, %v; want 2, true (cancelled head skipped)", tm, ok)
+	}
+	if !e.ProcessNextEvent() {
+		t.Fatal("ProcessNextEvent = false with a live event queued")
+	}
+	if e.HasPendingEvents() {
+		t.Error("HasPendingEvents = true after draining")
+	}
+	// An all-cancelled queue reads as empty.
+	e2 := New()
+	ev2, _ := e2.Schedule(1, func() {})
+	e2.Cancel(ev2)
+	if e2.HasPendingEvents() {
+		t.Error("HasPendingEvents = true with only cancelled events")
+	}
+	if e2.ProcessNextEvent() {
+		t.Error("ProcessNextEvent executed a cancelled event")
+	}
+}
+
+// TestStepLoopMatchesRun drives two identical schedules, one via Run and
+// one via the step primitives, and requires identical traces — the
+// contract internal/fleet depends on when interleaving engines.
+func TestStepLoopMatchesRun(t *testing.T) {
+	build := func() (*Engine, *[]float64) {
+		e := New()
+		var times []float64
+		var chain func()
+		n := 0
+		chain = func() {
+			times = append(times, e.Now())
+			n++
+			if n < 50 {
+				if _, err := e.Schedule(0.25+float64(n%3)*0.5, chain); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+		if _, err := e.Schedule(1, chain); err != nil {
+			t.Fatal(err)
+		}
+		return e, &times
+	}
+	e1, t1 := build()
+	e1.Run(math.Inf(1))
+	e2, t2 := build()
+	for e2.HasPendingEvents() {
+		e2.ProcessNextEvent()
+	}
+	if len(*t1) != len(*t2) {
+		t.Fatalf("Run fired %d events, step loop %d", len(*t1), len(*t2))
+	}
+	for i := range *t1 {
+		if (*t1)[i] != (*t2)[i] {
+			t.Fatalf("event %d: Run at %g, step loop at %g", i, (*t1)[i], (*t2)[i])
+		}
+	}
+	if e1.Now() != e2.Now() || e1.Steps() != e2.Steps() {
+		t.Errorf("final state differs: Run (now %g, steps %d) vs step loop (now %g, steps %d)",
+			e1.Now(), e1.Steps(), e2.Now(), e2.Steps())
+	}
+}

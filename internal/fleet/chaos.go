@@ -1,0 +1,267 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Chaos configures the background fault-injection processes. Each
+// enabled process runs independently per node, driven by that node's
+// own PRNG stream, so the chaos a given node experiences depends only
+// on (Spec.Seed, node index) — never on fleet size, event interleaving
+// or other nodes' draws.
+type Chaos struct {
+	// Enabled gates the whole layer; when false the rest is ignored.
+	Enabled bool
+
+	// MTBF is the per-node mean time between failures (exponential
+	// inter-failure times). Zero disables failures. A failed node powers
+	// off — zero draw, zero work — and its load shifts to the survivors.
+	MTBF units.Seconds
+	// MTTR is the mean repair time (exponential); required with MTBF.
+	MTTR units.Seconds
+
+	// ThrottleEvery is the per-node mean time between DVFS throttling
+	// onsets (thermal events). Zero disables throttling.
+	ThrottleEvery units.Seconds
+	// ThrottleFor is the fixed duration of each throttle episode.
+	ThrottleFor units.Seconds
+	// ThrottleFactor multiplies the core frequency during an episode,
+	// in (0, 1).
+	ThrottleFactor float64
+
+	// CapEvery is the per-node mean time between power-cap impositions
+	// (facility-level capping reaching the node). Zero disables caps.
+	CapEvery units.Seconds
+	// CapFor is the fixed duration of each cap episode.
+	CapFor units.Seconds
+	// CapFraction caps the node at this fraction of its nominal peak
+	// power, in (0, 1].
+	CapFraction float64
+
+	// StragglerProb is the probability that a node is a straggler for
+	// the whole run (failing fans, degraded parts, noisy neighbours).
+	StragglerProb float64
+	// StragglerSlowdown is the straggler's CPU slowdown factor, >= 1.
+	StragglerSlowdown float64
+}
+
+// Validate checks the chaos configuration.
+func (c Chaos) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.MTBF < 0 || c.MTTR < 0 || c.ThrottleEvery < 0 || c.ThrottleFor < 0 ||
+		c.CapEvery < 0 || c.CapFor < 0 {
+		return fmt.Errorf("fleet: chaos durations must be non-negative")
+	}
+	if c.MTBF > 0 && c.MTTR <= 0 {
+		return fmt.Errorf("fleet: chaos failures need a positive mttr")
+	}
+	if c.ThrottleEvery > 0 {
+		if c.ThrottleFor <= 0 {
+			return fmt.Errorf("fleet: chaos throttling needs a positive duration")
+		}
+		if c.ThrottleFactor <= 0 || c.ThrottleFactor >= 1 {
+			return fmt.Errorf("fleet: chaos throttle factor %g outside (0, 1)", c.ThrottleFactor)
+		}
+	}
+	if c.CapEvery > 0 {
+		if c.CapFor <= 0 {
+			return fmt.Errorf("fleet: chaos power caps need a positive duration")
+		}
+		if c.CapFraction <= 0 || c.CapFraction > 1 {
+			return fmt.Errorf("fleet: chaos cap fraction %g outside (0, 1]", c.CapFraction)
+		}
+	}
+	if c.StragglerProb < 0 || c.StragglerProb > 1 {
+		return fmt.Errorf("fleet: straggler probability %g outside [0, 1]", c.StragglerProb)
+	}
+	if c.StragglerProb > 0 && c.StragglerSlowdown < 1 {
+		return fmt.Errorf("fleet: straggler slowdown %g below 1", c.StragglerSlowdown)
+	}
+	return nil
+}
+
+// ChaosRecord is one injected chaos or scenario event, for the run log.
+type ChaosRecord struct {
+	Time float64 `json:"time"`
+	Node int     `json:"node"` // -1 for fleet-level events
+	Kind string  `json:"kind"`
+}
+
+type recorder func(ChaosRecord)
+
+// armChaos seeds node n's chaos processes on its own engine. Every
+// schedule happens from within the node's events, preserving the fleet
+// invariant that an action only touches the queue of the engine that
+// runs it.
+func (s *Simulator) armChaos(n *node, record recorder) {
+	c := s.spec.Chaos
+	if !c.Enabled {
+		return
+	}
+
+	// Stragglers are drawn at t=0 and last the whole run. The draw is
+	// consumed even for healthy nodes, keeping each stream's offsets
+	// fixed per process.
+	if c.StragglerProb > 0 {
+		if n.rng.Float64() < c.StragglerProb {
+			n.stragglerFactor = c.StragglerSlowdown
+			n.straggler = true
+			n.recalc()
+			s.counters.stragglers++
+			record(ChaosRecord{Time: 0, Node: n.index, Kind: "straggler"})
+		}
+	}
+
+	if c.MTBF > 0 {
+		var fail, repair func()
+		fail = func() {
+			now := n.eng.Now()
+			s.applyFail(now, n, record)
+			if _, err := n.eng.Schedule(n.rng.ExpFloat64(1/float64(c.MTTR)), repair); err != nil {
+				panic(err)
+			}
+		}
+		repair = func() {
+			now := n.eng.Now()
+			s.applyRepair(now, n, record)
+			if _, err := n.eng.Schedule(n.rng.ExpFloat64(1/float64(c.MTBF)), fail); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := n.eng.Schedule(n.rng.ExpFloat64(1/float64(c.MTBF)), fail); err != nil {
+			panic(err)
+		}
+	}
+
+	if c.ThrottleEvery > 0 {
+		var onset, clear func()
+		onset = func() {
+			now := n.eng.Now()
+			s.applyThrottle(now, n, c.ThrottleFactor, record)
+			if _, err := n.eng.Schedule(float64(c.ThrottleFor), clear); err != nil {
+				panic(err)
+			}
+		}
+		clear = func() {
+			now := n.eng.Now()
+			s.applyThrottle(now, n, 1, record)
+			if _, err := n.eng.Schedule(n.rng.ExpFloat64(1/float64(c.ThrottleEvery)), onset); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := n.eng.Schedule(n.rng.ExpFloat64(1/float64(c.ThrottleEvery)), onset); err != nil {
+			panic(err)
+		}
+	}
+
+	if c.CapEvery > 0 {
+		watts := c.CapFraction * float64(n.group.Type.NominalPeak)
+		var impose, lift func()
+		impose = func() {
+			now := n.eng.Now()
+			s.applyPowerCap(now, n, watts, record)
+			if _, err := n.eng.Schedule(float64(c.CapFor), lift); err != nil {
+				panic(err)
+			}
+		}
+		lift = func() {
+			now := n.eng.Now()
+			s.applyPowerCap(now, n, 0, record)
+			if _, err := n.eng.Schedule(n.rng.ExpFloat64(1/float64(c.CapEvery)), impose); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := n.eng.Schedule(n.rng.ExpFloat64(1/float64(c.CapEvery)), impose); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// The apply* mutators are the single write path for chaos state, shared
+// by the background chaos processes and the scenario's timed events:
+// advance all lazy accounting to now, mutate, rederive, rebalance.
+
+func (s *Simulator) applyFail(now float64, n *node, record recorder) {
+	if n.failed {
+		return
+	}
+	s.advanceAll(now)
+	n.failed = true
+	n.failures++
+	s.counters.failures++
+	n.recalc()
+	s.rebalance(now)
+	record(ChaosRecord{Time: now, Node: n.index, Kind: "fail"})
+}
+
+func (s *Simulator) applyRepair(now float64, n *node, record recorder) {
+	if !n.failed {
+		return
+	}
+	s.advanceAll(now)
+	n.failed = false
+	n.repairs++
+	s.counters.repairs++
+	n.recalc()
+	s.rebalance(now)
+	record(ChaosRecord{Time: now, Node: n.index, Kind: "repair"})
+}
+
+func (s *Simulator) applyThrottle(now float64, n *node, factor float64, record recorder) {
+	if n.throttleFactor == factor {
+		return
+	}
+	s.advanceAll(now)
+	n.throttleFactor = factor
+	kind := "throttle"
+	if factor >= 1 {
+		kind = "unthrottle"
+	} else {
+		n.throttles++
+		s.counters.throttles++
+	}
+	n.recalc()
+	s.rebalance(now)
+	record(ChaosRecord{Time: now, Node: n.index, Kind: kind})
+}
+
+func (s *Simulator) applyPowerCap(now float64, n *node, watts float64, record recorder) {
+	if n.capWatts == watts {
+		return
+	}
+	s.advanceAll(now)
+	n.capWatts = watts
+	kind := "power_cap"
+	if watts <= 0 {
+		kind = "uncap"
+	} else {
+		n.caps++
+		s.counters.caps++
+	}
+	n.recalc()
+	s.rebalance(now)
+	record(ChaosRecord{Time: now, Node: n.index, Kind: kind})
+}
+
+func (s *Simulator) applyStraggle(now float64, n *node, slowdown float64, record recorder) {
+	if n.stragglerFactor == slowdown {
+		return
+	}
+	s.advanceAll(now)
+	n.stragglerFactor = slowdown
+	kind := "straggler"
+	if slowdown <= 1 {
+		kind = "unstraggler"
+		n.straggler = false
+	} else if !n.straggler {
+		n.straggler = true
+		s.counters.stragglers++
+	}
+	n.recalc()
+	s.rebalance(now)
+	record(ChaosRecord{Time: now, Node: n.index, Kind: kind})
+}

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/powermeter"
+	"repro/internal/simulator"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// TestDifferentialSingleNodeVsModel: a one-node fleet at utilization 1
+// run for exactly the model's job time must complete the job's units
+// and spend the model's energy. The fleet integrates steady-state
+// derivatives where the model evaluates a closed form, so agreement is
+// expected to round-off, not approximation, tolerance.
+func TestDifferentialSingleNodeVsModel(t *testing.T) {
+	catalog, registry := testEnv(t)
+	for _, typeName := range []string{"A9", "K10"} {
+		nt, err := catalog.Lookup(typeName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wlName := range []string{"EP", "x264"} {
+			wl, err := registry.Lookup(wlName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := cluster.FullNodes(nt, 1)
+			mres, err := model.Evaluate(cluster.MustConfig(g), wl, model.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			spec := Spec{
+				Name:        "diff",
+				Workload:    wl,
+				Templates:   []cluster.Group{g},
+				Duration:    mres.Time,
+				Slice:       units.Seconds(float64(mres.Time) / 16),
+				Utilization: 1,
+				Seed:        1,
+			}
+			s := runSpec(t, spec).Summary
+
+			if e := relErr(s.CompletedUnits, wl.JobUnits); e > 1e-9 {
+				t.Errorf("%s/%s: fleet completed %g units over the model time, want %g (rel err %g)",
+					typeName, wlName, s.CompletedUnits, wl.JobUnits, e)
+			}
+			if e := relErr(s.EnergyJoules, float64(mres.Energy)); e > 1e-9 {
+				t.Errorf("%s/%s: fleet energy %g J, model %g J (rel err %g)",
+					typeName, wlName, s.EnergyJoules, float64(mres.Energy), e)
+			}
+			if e := relErr(s.AvgPowerWatts, float64(mres.BusyPower)); e > 1e-9 {
+				t.Errorf("%s/%s: fleet avg power %g W, model busy power %g W (rel err %g)",
+					typeName, wlName, s.AvgPowerWatts, float64(mres.BusyPower), e)
+			}
+		}
+	}
+}
+
+// TestDifferentialHeterogeneousVsModel extends the check to a mixed
+// configuration: at utilization 1 the fleet's rate-matched shares are
+// the model's static mapping, so over the model's job time the fleet
+// reproduces the job's units and energy.
+func TestDifferentialHeterogeneousVsModel(t *testing.T) {
+	catalog, registry := testEnv(t)
+	a9, err := catalog.Lookup("A9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k10, err := catalog.Lookup("K10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := registry.Lookup("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := []cluster.Group{cluster.FullNodes(a9, 8), cluster.FullNodes(k10, 2)}
+	mres, err := model.Evaluate(cluster.MustConfig(groups...), wl, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := Spec{
+		Name:        "diff-hetero",
+		Workload:    wl,
+		Templates:   groups,
+		Duration:    mres.Time,
+		Slice:       units.Seconds(float64(mres.Time) / 16),
+		Utilization: 1,
+		Seed:        1,
+	}
+	s := runSpec(t, spec).Summary
+
+	if e := relErr(s.CompletedUnits, wl.JobUnits); e > 1e-9 {
+		t.Errorf("fleet completed %g units, want job size %g (rel err %g)",
+			s.CompletedUnits, wl.JobUnits, e)
+	}
+	if e := relErr(s.EnergyJoules, float64(mres.Energy)); e > 1e-9 {
+		t.Errorf("fleet energy %g J, model %g J (rel err %g)",
+			s.EnergyJoules, float64(mres.Energy), e)
+	}
+}
+
+// TestDifferentialVsSimulator cross-checks against the per-job DES
+// simulator with all effects disabled. The paper workloads carry an
+// intrinsic Irregularity slowdown that only the simulator applies, so
+// the comparison uses a synthetic profile (Irregularity 0): with no
+// stochastic terms left the simulator's makespan and exact trace energy
+// must agree with the fleet run to round-off.
+func TestDifferentialVsSimulator(t *testing.T) {
+	catalog, _ := testEnv(t)
+	a9, err := catalog.Lookup("A9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := workload.Generate(catalog, workload.DefaultSyntheticSpec(), 1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := profiles[0]
+	g := cluster.FullNodes(a9, 1)
+	meter := powermeter.Meter{SampleRate: 10} // perfect instrument
+	sres, err := simulator.Run(cluster.MustConfig(g), wl, simulator.Effects{}, meter, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := Spec{
+		Name:        "diff-sim",
+		Workload:    wl,
+		Templates:   []cluster.Group{g},
+		Duration:    sres.Time,
+		Slice:       units.Seconds(float64(sres.Time) / 16),
+		Utilization: 1,
+		Seed:        1,
+	}
+	s := runSpec(t, spec).Summary
+
+	if e := relErr(s.CompletedUnits, wl.JobUnits); e > 1e-9 {
+		t.Errorf("fleet completed %g units over the simulator makespan, want %g (rel err %g)",
+			s.CompletedUnits, wl.JobUnits, e)
+	}
+	if e := relErr(s.EnergyJoules, float64(sres.TrueEnergy)); e > 1e-9 {
+		t.Errorf("fleet energy %g J, simulator trace energy %g J (rel err %g)",
+			s.EnergyJoules, float64(sres.TrueEnergy), e)
+	}
+}

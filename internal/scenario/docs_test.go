@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// extractYAMLBlocks pulls every fenced ```yaml block out of a markdown
+// file, with the line each starts on for error messages.
+func extractYAMLBlocks(t *testing.T, path string) []struct {
+	line int
+	src  string
+} {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []struct {
+		line int
+		src  string
+	}
+	lines := strings.Split(string(data), "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```yaml" {
+			continue
+		}
+		start := i + 1
+		var body []string
+		for i++; i < len(lines); i++ {
+			if strings.TrimSpace(lines[i]) == "```" {
+				break
+			}
+			body = append(body, lines[i])
+		}
+		blocks = append(blocks, struct {
+			line int
+			src  string
+		}{line: start + 1, src: strings.Join(body, "\n")})
+	}
+	return blocks
+}
+
+// TestDocScenariosRun loads every ```yaml block in docs/SCENARIOS.md as
+// a complete scenario, builds it and runs it, so the schema reference
+// cannot drift from the implementation. Fragments that are not full
+// scenarios must use plain ``` fences in the doc.
+func TestDocScenariosRun(t *testing.T) {
+	catalog, registry := testEnv(t)
+	blocks := extractYAMLBlocks(t, filepath.Join("..", "..", "docs", "SCENARIOS.md"))
+	if len(blocks) < 5 {
+		t.Fatalf("only %d yaml blocks found in docs/SCENARIOS.md; fences renamed?", len(blocks))
+	}
+	for _, b := range blocks {
+		b := b
+		t.Run(fmt.Sprintf("line%d", b.line), func(t *testing.T) {
+			sc, err := Parse([]byte(b.src))
+			if err != nil {
+				t.Fatalf("docs/SCENARIOS.md block at line %d does not parse: %v", b.line, err)
+			}
+			spec, err := sc.Build(catalog, registry)
+			if err != nil {
+				t.Fatalf("docs/SCENARIOS.md block at line %d does not build: %v", b.line, err)
+			}
+			sim, err := fleet.New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run()
+			if err != nil {
+				t.Fatalf("docs/SCENARIOS.md block at line %d does not run: %v", b.line, err)
+			}
+			if fails := sc.CheckAll(res.Summary); len(fails) != 0 {
+				t.Errorf("docs/SCENARIOS.md block at line %d fails its own assertions: %v", b.line, fails)
+			}
+		})
+	}
+}
+
+// TestExampleScenariosLoadAndRun does the same for every shipped file
+// in examples/scenarios/.
+func TestExampleScenariosLoadAndRun(t *testing.T) {
+	catalog, registry := testEnv(t)
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("only %d example scenarios found", len(files))
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			sc, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := sc.Build(catalog, registry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := fleet.New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fails := sc.CheckAll(res.Summary); len(fails) != 0 {
+				t.Errorf("%s fails its own assertions: %v", path, fails)
+			}
+		})
+	}
+}

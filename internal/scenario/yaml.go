@@ -1,0 +1,293 @@
+// Package scenario implements the declarative scenario language of the
+// fleet simulator: a YAML subset parsed with no external dependencies,
+// a typed schema with path-tracked errors, and a builder that turns a
+// scenario into a runnable fleet.Spec plus end-of-run assertions.
+//
+// The YAML subset covers what scenario files need and nothing more:
+// block mappings, block sequences (including `- key: value` inline map
+// items), plain and quoted scalars, comments and blank lines. Anchors,
+// aliases, flow collections, multi-line scalars, multiple documents and
+// tabs are rejected with line-numbered errors.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// yamlValue is the untyped parse result: map[string]yamlValue,
+// []yamlValue, or scalar (a raw string; the schema layer types it).
+type yamlValue any
+
+// scalar is a leaf value with its source line for error reporting.
+type scalar struct {
+	text string
+	line int
+}
+
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int
+	text   string // comment-stripped, right-trimmed content
+}
+
+// parseYAML parses one document of the YAML subset.
+func parseYAML(src []byte) (yamlValue, error) {
+	lines, err := splitYAMLLines(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("yaml: line %d: unexpected content %q after document (check indentation)", l.num, l.text)
+	}
+	return v, nil
+}
+
+func splitYAMLLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		num := i + 1
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("yaml: line %d: tabs are not allowed, use spaces", num)
+		}
+		text, err := stripYAMLComment(raw, num)
+		if err != nil {
+			return nil, err
+		}
+		trimmed := strings.TrimLeft(text, " ")
+		if trimmed == "" {
+			continue
+		}
+		if trimmed == "---" {
+			if len(out) > 0 {
+				return nil, fmt.Errorf("yaml: line %d: multiple documents are not supported", num)
+			}
+			continue
+		}
+		out = append(out, yamlLine{
+			num:    num,
+			indent: len(text) - len(trimmed),
+			text:   strings.TrimRight(trimmed, " "),
+		})
+	}
+	return out, nil
+}
+
+// stripYAMLComment removes a trailing comment: a '#' outside quotes,
+// at the start of the line or preceded by whitespace.
+func stripYAMLComment(raw string, num int) (string, error) {
+	var quote byte
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if c == '\\' && quote == '"' {
+				i++ // skip the escaped character
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || raw[i-1] == ' '):
+			return raw[:i], nil
+		}
+	}
+	if quote != 0 {
+		return "", fmt.Errorf("yaml: line %d: unterminated %c-quoted string", num, quote)
+	}
+	return raw, nil
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses the run of lines at exactly the given indent as one
+// node — a sequence if the first line is a dash item, else a mapping.
+func (p *yamlParser) parseBlock(indent int) (yamlValue, error) {
+	l := p.lines[p.pos]
+	if l.indent != indent {
+		return nil, fmt.Errorf("yaml: line %d: unexpected indentation %d (expected %d)", l.num, l.indent, indent)
+	}
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *yamlParser) parseSequence(indent int) (yamlValue, error) {
+	var seq []yamlValue
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, fmt.Errorf("yaml: line %d: unexpected indentation inside sequence", l.num)
+			}
+			break
+		}
+		if l.text != "-" && !strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("yaml: line %d: expected a %q sequence item, got %q", l.num, "- ", l.text)
+		}
+		rest := strings.TrimPrefix(l.text, "-")
+		inner := strings.TrimLeft(rest, " ")
+		if inner == "" {
+			// `-` alone: the item is the following more-indented block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("yaml: line %d: empty sequence item", l.num)
+			}
+			item, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, item)
+			continue
+		}
+		itemIndent := indent + (len(l.text) - len(inner))
+		if _, _, err := splitYAMLKey(yamlLine{num: l.num, text: inner}); err == nil {
+			// `- key: value`: rewrite the line as the content at its own
+			// column and parse a mapping there; it absorbs following
+			// deeper lines as further entries.
+			p.lines[p.pos] = yamlLine{num: l.num, indent: itemIndent, text: inner}
+			item, err := p.parseBlock(itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, item)
+			continue
+		}
+		// `- scalar`: a leaf item; nothing deeper may follow it.
+		v, err := parseYAMLScalar(inner, l.num)
+		if err != nil {
+			return nil, err
+		}
+		p.pos++
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			return nil, fmt.Errorf("yaml: line %d: unexpected indentation after scalar item", p.lines[p.pos].num)
+		}
+		seq = append(seq, v)
+	}
+	return seq, nil
+}
+
+func (p *yamlParser) parseMapping(indent int) (yamlValue, error) {
+	m := make(map[string]yamlValue)
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, fmt.Errorf("yaml: line %d: unexpected indentation inside mapping", l.num)
+			}
+			break
+		}
+		if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("yaml: line %d: sequence item inside mapping", l.num)
+		}
+		key, rest, err := splitYAMLKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yaml: line %d: duplicate key %q", l.num, key)
+		}
+		if rest != "" {
+			v, err := parseYAMLScalar(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			p.pos++
+			continue
+		}
+		// `key:` alone: the value is the following more-indented block,
+		// or an empty scalar if none follows.
+		p.pos++
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		m[key] = scalar{text: "", line: l.num}
+	}
+	return m, nil
+}
+
+// splitYAMLKey splits `key: value` at the first unquoted colon that ends
+// the key (followed by a space or the end of line).
+func splitYAMLKey(l yamlLine) (key, rest string, err error) {
+	for i := 0; i < len(l.text); i++ {
+		if l.text[i] != ':' {
+			continue
+		}
+		if i+1 < len(l.text) && l.text[i+1] != ' ' {
+			continue
+		}
+		key = strings.TrimSpace(l.text[:i])
+		if key == "" {
+			return "", "", fmt.Errorf("yaml: line %d: empty mapping key", l.num)
+		}
+		if strings.HasPrefix(key, "'") || strings.HasPrefix(key, `"`) {
+			return "", "", fmt.Errorf("yaml: line %d: quoted keys are not supported", l.num)
+		}
+		return key, strings.TrimSpace(l.text[i+1:]), nil
+	}
+	return "", "", fmt.Errorf("yaml: line %d: expected %q in mapping entry %q", l.num, "key: value", l.text)
+}
+
+func parseYAMLScalar(s string, num int) (yamlValue, error) {
+	switch {
+	case strings.HasPrefix(s, "{") || strings.HasPrefix(s, "["):
+		return nil, fmt.Errorf("yaml: line %d: flow collections are not supported", num)
+	case strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*"):
+		return nil, fmt.Errorf("yaml: line %d: anchors and aliases are not supported", num)
+	case strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">"):
+		return nil, fmt.Errorf("yaml: line %d: block scalars are not supported", num)
+	case strings.HasPrefix(s, "'"):
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return nil, fmt.Errorf("yaml: line %d: unterminated single-quoted string", num)
+		}
+		return scalar{text: strings.ReplaceAll(s[1:len(s)-1], "''", "'"), line: num}, nil
+	case strings.HasPrefix(s, `"`):
+		if len(s) < 2 || !strings.HasSuffix(s, `"`) {
+			return nil, fmt.Errorf("yaml: line %d: unterminated double-quoted string", num)
+		}
+		var b strings.Builder
+		body := s[1 : len(s)-1]
+		for i := 0; i < len(body); i++ {
+			if body[i] != '\\' {
+				b.WriteByte(body[i])
+				continue
+			}
+			i++
+			if i >= len(body) {
+				return nil, fmt.Errorf("yaml: line %d: dangling escape in string", num)
+			}
+			switch body[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"':
+				b.WriteByte(body[i])
+			default:
+				return nil, fmt.Errorf("yaml: line %d: unsupported escape \\%c", num, body[i])
+			}
+		}
+		return scalar{text: b.String(), line: num}, nil
+	default:
+		return scalar{text: s, line: num}, nil
+	}
+}

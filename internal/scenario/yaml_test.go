@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) yamlValue {
+	t.Helper()
+	v, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatalf("parse failed: %v\nsource:\n%s", err, src)
+	}
+	return v
+}
+
+func scalarText(t *testing.T, v yamlValue) string {
+	t.Helper()
+	s, ok := v.(scalar)
+	if !ok {
+		t.Fatalf("expected scalar, got %T", v)
+	}
+	return s.text
+}
+
+func TestParseMapping(t *testing.T) {
+	v := mustParse(t, `
+name: test
+count: 3
+nested:
+  inner: yes
+  deeper:
+    leaf: 1.5
+`)
+	m := v.(map[string]yamlValue)
+	if got := scalarText(t, m["name"]); got != "test" {
+		t.Errorf("name = %q", got)
+	}
+	nested := m["nested"].(map[string]yamlValue)
+	deeper := nested["deeper"].(map[string]yamlValue)
+	if got := scalarText(t, deeper["leaf"]); got != "1.5" {
+		t.Errorf("leaf = %q", got)
+	}
+}
+
+func TestParseSequences(t *testing.T) {
+	v := mustParse(t, `
+plain:
+  - a
+  - b
+maps:
+  - type: A9
+    count: 8
+  - type: K10
+    count: 2
+dash:
+  -
+    k: v
+`)
+	m := v.(map[string]yamlValue)
+	plain := m["plain"].([]yamlValue)
+	if len(plain) != 2 || scalarText(t, plain[1]) != "b" {
+		t.Errorf("plain = %v", plain)
+	}
+	maps := m["maps"].([]yamlValue)
+	if len(maps) != 2 {
+		t.Fatalf("maps has %d items", len(maps))
+	}
+	first := maps[0].(map[string]yamlValue)
+	if scalarText(t, first["type"]) != "A9" || scalarText(t, first["count"]) != "8" {
+		t.Errorf("first map item = %v", first)
+	}
+	dash := m["dash"].([]yamlValue)
+	if scalarText(t, dash[0].(map[string]yamlValue)["k"]) != "v" {
+		t.Errorf("dash item = %v", dash[0])
+	}
+}
+
+func TestParseCommentsAndQuotes(t *testing.T) {
+	v := mustParse(t, `
+# leading comment
+name: "hello # not a comment"  # trailing comment
+single: 'it''s quoted'
+escaped: "line\nbreak"
+url: http://example.com/x#fragment
+empty:
+`)
+	m := v.(map[string]yamlValue)
+	if got := scalarText(t, m["name"]); got != "hello # not a comment" {
+		t.Errorf("name = %q", got)
+	}
+	if got := scalarText(t, m["single"]); got != "it's quoted" {
+		t.Errorf("single = %q", got)
+	}
+	if got := scalarText(t, m["escaped"]); got != "line\nbreak" {
+		t.Errorf("escaped = %q", got)
+	}
+	// A '#' not preceded by whitespace is content, not a comment.
+	if got := scalarText(t, m["url"]); got != "http://example.com/x#fragment" {
+		t.Errorf("url = %q", got)
+	}
+	if got := scalarText(t, m["empty"]); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+func TestParseDocumentMarker(t *testing.T) {
+	v := mustParse(t, "---\nkey: value\n")
+	if got := scalarText(t, v.(map[string]yamlValue)["key"]); got != "value" {
+		t.Errorf("key = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"empty", "", "empty document"},
+		{"tabs", "key:\n\tvalue: 1\n", "tabs"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"bad indent", "a: 1\n   b: 2\n", "indentation"},
+		{"seq in map", "a: 1\n- b\n", "sequence item inside mapping"},
+		{"map in seq", "- a\nb: 1\n", "sequence"},
+		{"no colon", "just a line\n", "key: value"},
+		{"empty key", ": 1\n", "empty mapping key"},
+		{"flow map", "a: {b: 1}\n", "flow collections"},
+		{"flow seq", "a: [1, 2]\n", "flow collections"},
+		{"anchor", "a: &x 1\n", "anchors"},
+		{"block scalar", "a: |\n  text\n", "block scalars"},
+		{"unterminated quote", "a: \"open\n", "unterminated"},
+		{"bad escape", `a: "\q"` + "\n", "unsupported escape"},
+		{"multi doc", "a: 1\n---\nb: 2\n", "multiple documents"},
+		{"empty seq item", "list:\n  -\nnext: 1\n", "empty sequence item"},
+	}
+	for _, tc := range cases {
+		if _, err := parseYAML([]byte(tc.src)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	_, err := parseYAML([]byte("a: 1\nb: 2\nb: 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v does not carry line 3", err)
+	}
+}
