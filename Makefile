@@ -102,9 +102,10 @@ bench:
 
 # Queueing-kernel benchmarks with the headline speedups distilled into
 # BENCH_queueing.json (fast Crommelin kernel and percentile cache versus
-# the preserved reference implementation).
+# the preserved reference implementation, plus the M/G/1 and Erlang-C
+# kernels behind the same interface).
 bench-queueing:
-	$(GO) test -bench 'BenchmarkWaitCDF|BenchmarkResponsePercentile' \
+	$(GO) test -bench 'BenchmarkWaitCDF|BenchmarkResponsePercentile|BenchmarkMG1|BenchmarkMMK|BenchmarkErlangC' \
 		-benchmem -run '^$$' ./internal/queueing/ | tee bench_queueing.out
 	$(GO) run ./internal/tools/benchjson bench_queueing.out > BENCH_queueing.json
 	@echo wrote BENCH_queueing.json
@@ -154,6 +155,7 @@ fuzz:
 	$(GO) test -run '^$$' ./internal/replay/ -fuzz FuzzParseCSV -fuzztime $(FUZZTIME)
 	$(GO) test -run '^$$' ./internal/replay/ -fuzz FuzzParseJSON -fuzztime $(FUZZTIME)
 	$(GO) test -run '^$$' ./internal/queueing/ -fuzz FuzzPercentileCacheDifferential -fuzztime $(FUZZTIME)
+	$(GO) test -run '^$$' ./internal/queueing/ -fuzz FuzzKernelDifferential -fuzztime $(FUZZTIME)
 
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=5s

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -11,6 +12,8 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/pareto"
+	"repro/internal/queueing"
 )
 
 // golden_test.go pins the rendered paper artifacts (Table 7, Table 8,
@@ -117,4 +120,57 @@ func TestGoldenParetoSublinear(t *testing.T) {
 			pt.Config.String(), float64(pt.Time), float64(pt.Energy), fig.Sublinear[i])
 	}
 	checkGolden(t, "pareto_ep", buf.String())
+}
+
+// goldenKernelFrontier renders the EP frontier annotated with tail
+// latencies under a ladder of kernel parameterizations — the small
+// M/G/1 and M/M/k frontier sweeps the kernel goldens pin. Any change
+// in a kernel's math moves these bytes.
+func goldenKernelFrontier(t *testing.T, name, header string, specs []queueing.Spec, labels []string) {
+	t.Helper()
+	s, err := goldenSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := s.FigurePareto("EP", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([][]float64, len(specs))
+	for i, spec := range specs {
+		cols[i], err = pareto.AnnotateLatencies(context.Background(), fig.Frontier, 0.7, 95, spec, 0)
+		if err != nil {
+			t.Fatalf("annotating %s: %v", spec, err)
+		}
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s u=0.7 p=95 workload=%s points=%d\n", header, fig.Workload, len(fig.Frontier))
+	for i, pt := range fig.Frontier {
+		fmt.Fprintf(&buf, "%-16s time=%.6g s", pt.Config.String(), float64(pt.Time))
+		for c := range specs {
+			fmt.Fprintf(&buf, " p95[%s]=%.9g", labels[c], cols[c][i])
+		}
+		fmt.Fprintln(&buf)
+	}
+	checkGolden(t, name, buf.String())
+}
+
+func TestGoldenKernelFrontierMG1(t *testing.T) {
+	goldenKernelFrontier(t, "kernel_frontier_mg1", "kernel=mg1",
+		[]queueing.Spec{
+			{Kind: queueing.KindMG1, SCV: 0},
+			{Kind: queueing.KindMG1, SCV: 1},
+			{Kind: queueing.KindMG1, SCV: 4},
+		},
+		[]string{"scv=0", "scv=1", "scv=4"})
+}
+
+func TestGoldenKernelFrontierMMK(t *testing.T) {
+	goldenKernelFrontier(t, "kernel_frontier_mmk", "kernel=mmk",
+		[]queueing.Spec{
+			{Kind: queueing.KindMMK, Servers: 1},
+			{Kind: queueing.KindMMK, Servers: 4},
+			{Kind: queueing.KindMMK, Servers: 16},
+		},
+		[]string{"k=1", "k=4", "k=16"})
 }

@@ -69,6 +69,18 @@ func (a *Analysis) Queue(u float64) (queueing.MD1, error) {
 	return queueing.NewMD1FromUtilization(u, float64(a.Result.Time))
 }
 
+// KernelAt returns the queueing kernel selected by spec at utilization
+// u, with the configuration's job time T_P as the aggregate service
+// time. The default (zero) spec reproduces Queue's M/D/1 exactly; an
+// M/G/1 spec adds service-time variability on top of the same mean, and
+// an M/M/k spec spreads the capacity over k servers.
+func (a *Analysis) KernelAt(u float64, spec queueing.Spec) (queueing.Kernel, error) {
+	if a.Result.Time <= 0 {
+		return nil, errors.New("energyprop: zero service time")
+	}
+	return spec.Build(u, float64(a.Result.Time))
+}
+
 // ResponsePercentileAt returns the p-th percentile response time at
 // utilization u, from the exact M/D/1 waiting-time distribution
 // (Figures 11 and 12 plot p=95).
@@ -78,6 +90,18 @@ func (a *Analysis) ResponsePercentileAt(u, p float64) (float64, error) {
 		return 0, err
 	}
 	return q.ResponsePercentile(p)
+}
+
+// ResponsePercentileAtKernel is ResponsePercentileAt under an arbitrary
+// kernel spec — the sensitivity axis behind the SCV sweeps in
+// EXPERIMENTS.md. The default spec matches ResponsePercentileAt bit for
+// bit.
+func (a *Analysis) ResponsePercentileAtKernel(u, p float64, spec queueing.Spec) (float64, error) {
+	k, err := a.KernelAt(u, spec)
+	if err != nil {
+		return 0, err
+	}
+	return k.ResponsePercentile(p)
 }
 
 // Sweep evaluates f at each utilization of the grid and returns the
@@ -119,13 +143,24 @@ func (a *Analysis) ResponsePercentilesAt(grid []float64, p float64, workers int)
 // deadline reaches the percentile searches. Points already dispatched
 // complete (one per worker at most).
 func (a *Analysis) ResponsePercentilesAtContext(ctx context.Context, grid []float64, p float64, workers int) ([]float64, error) {
+	return a.ResponsePercentilesAtKernelContext(ctx, grid, p, queueing.DefaultSpec(), workers)
+}
+
+// ResponsePercentilesAtKernelContext is the kernel-agnostic grid sweep:
+// the same fan-out as ResponsePercentilesAtContext, but each point
+// evaluates the kernel selected by spec. With the default spec it is
+// ResponsePercentilesAtContext exactly (same cache, same bits).
+func (a *Analysis) ResponsePercentilesAtKernelContext(ctx context.Context, grid []float64, p float64, spec queueing.Spec, workers int) ([]float64, error) {
 	span := telemetry.StartSpan("energyprop.response_sweep").
-		Arg("points", len(grid)).Arg("p", p)
+		Arg("points", len(grid)).Arg("p", p).Arg("kernel", spec.String())
 	defer span.End()
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("energyprop: response sweep: %w", err)
+	}
 	out := make([]float64, len(grid))
 	errs := make([]error, len(grid))
 	if err := sweep.ForEachContext(ctx, len(grid), workers, func(i int) {
-		out[i], errs[i] = a.ResponsePercentileAt(grid[i], p)
+		out[i], errs[i] = a.ResponsePercentileAtKernel(grid[i], p, spec)
 	}); err != nil {
 		return nil, fmt.Errorf("energyprop: response sweep: %w", err)
 	}

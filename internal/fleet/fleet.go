@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/queueing"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/units"
@@ -60,6 +61,11 @@ type Spec struct {
 	Utilization float64
 	// Seed drives every random draw of the run (chaos streams).
 	Seed uint64
+	// Latency, when set, turns on the analytic tail-latency probe: at
+	// every power sample the currently alive capacity is fed through the
+	// selected queueing kernel at the offered load. Nil keeps summaries
+	// byte-identical to pre-probe runs.
+	Latency *LatencySpec
 	// Chaos configures the background chaos injection processes.
 	Chaos Chaos
 	// Events are the scenario's timed interventions, applied in time
@@ -96,12 +102,65 @@ func (s *Spec) Validate() error {
 	if err := s.Chaos.Validate(); err != nil {
 		return err
 	}
+	if s.Latency != nil {
+		if err := s.Latency.Validate(); err != nil {
+			return err
+		}
+	}
 	for i := range s.Events {
 		if err := s.Events[i].Validate(s.Duration); err != nil {
 			return fmt.Errorf("fleet: event %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// LatencySpec configures the fleet's analytic tail-latency probe. At
+// every power sample the fleet's current alive (possibly degraded)
+// aggregate capacity becomes the service rate of the selected queueing
+// kernel serving the offered load, so node failures, throttling and
+// power caps surface as a longer analytic tail rather than only as
+// lost work. An M/M/k kernel with Servers == 0 tracks the alive node
+// count, so repair and failure change the pooling, not just the rate.
+type LatencySpec struct {
+	// Kernel selects the queueing model. The zero value is the paper's
+	// M/D/1.
+	Kernel queueing.Spec
+	// Percentile is the probed response-time percentile in [0, 100).
+	// Zero defaults to 95.
+	Percentile float64
+}
+
+// Validate checks the latency spec without running it.
+func (l *LatencySpec) Validate() error {
+	if l.Percentile < 0 || l.Percentile >= 100 || math.IsNaN(l.Percentile) {
+		return fmt.Errorf("fleet: latency percentile %g outside [0, 100)", l.Percentile)
+	}
+	spec := l.Kernel
+	if spec.Kind == queueing.KindMMK && spec.Servers == 0 {
+		spec.Servers = 1 // zero means "track the alive node count"
+	}
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("fleet: latency kernel: %w", err)
+	}
+	return nil
+}
+
+// percentile returns the effective probe percentile.
+func (l *LatencySpec) percentile() float64 {
+	if l.Percentile == 0 {
+		return 95
+	}
+	return l.Percentile
+}
+
+// kernelLabel names the kernel in summaries, rendering the alive-count
+// M/M/k as "mmk(k=alive)".
+func (l *LatencySpec) kernelLabel() string {
+	if l.Kernel.Kind == queueing.KindMMK && l.Kernel.Servers == 0 {
+		return "mmk(k=alive)"
+	}
+	return l.Kernel.String()
 }
 
 // NodeCount returns the total number of nodes the spec describes.
@@ -136,6 +195,12 @@ type Simulator struct {
 
 	peakPower   float64
 	powerSample []PowerSample
+
+	// Tail-latency probe accumulators (spec.Latency != nil only).
+	latencyMax       float64
+	latencySum       stats.KahanSum
+	latencySamples   int
+	latencySaturated int
 
 	counters chaosCounters
 
@@ -425,6 +490,13 @@ func (s *Simulator) schedulePowerSampler() {
 		if len(s.powerSample) < maxSamples {
 			s.powerSample = append(s.powerSample, PowerSample{Time: now, Power: total, Alive: alive})
 		}
+		if s.spec.Latency != nil {
+			aliveCap := 0.0
+			for _, n := range s.nodes {
+				aliveCap += n.capacity()
+			}
+			s.sampleLatency(aliveCap, alive)
+		}
 		if next := now + s.slice; next <= s.horizon {
 			if _, err := s.coord.Schedule(s.slice, sample); err != nil {
 				panic(err)
@@ -433,5 +505,52 @@ func (s *Simulator) schedulePowerSampler() {
 	}
 	if _, err := s.coord.Schedule(0, sample); err != nil {
 		panic(err)
+	}
+}
+
+// sampleLatency runs the analytic tail-latency probe at one power
+// sample. The fleet is modeled as a single queue whose aggregate
+// service rate is the alive capacity, loaded with the offered rate; a
+// fleet that cannot carry the offered load (rho >= 1, or no capacity
+// at all) counts a saturated sample instead of a latency. Utilization
+// is quantized so steady stretches of a run resolve through the shared
+// kernel percentile cache rather than re-running the solver, keeping
+// the probe a pure deterministic function of fleet state.
+func (s *Simulator) sampleLatency(aliveCap float64, alive int) {
+	ls := s.spec.Latency
+	if aliveCap <= 0 {
+		s.latencySaturated++
+		return
+	}
+	rho := math.Round(s.utilization*s.nominalRate/aliveCap*1e4) / 1e4
+	if rho >= 1 {
+		s.latencySaturated++
+		return
+	}
+	if rho < 1e-4 {
+		rho = 1e-4 // kernels need an open arrival stream; floor near-idle fleets
+	}
+	spec := ls.Kernel
+	if spec.Kind == queueing.KindMMK && spec.Servers == 0 {
+		if alive < 1 {
+			s.latencySaturated++
+			return
+		}
+		spec.Servers = alive
+	}
+	k, err := spec.Build(rho, 1/aliveCap)
+	if err != nil {
+		s.latencySaturated++
+		return
+	}
+	t, err := k.ResponsePercentile(ls.percentile())
+	if err != nil {
+		s.latencySaturated++
+		return
+	}
+	s.latencySamples++
+	s.latencySum.Add(t)
+	if t > s.latencyMax {
+		s.latencyMax = t
 	}
 }

@@ -61,6 +61,20 @@ type Summary struct {
 	// Availability is 1 - down-node-seconds / (nodes * duration).
 	Availability float64 `json:"availability"`
 
+	// Tail-latency probe (Spec.Latency). All fields are omitempty so
+	// runs without the probe keep byte-identical summaries.
+	// LatencyKernel names the queueing kernel ("md1", "mg1(scv=4)",
+	// "mmk(k=alive)"); TailLatencySeconds is the worst sampled p-th
+	// percentile response time over the run, AvgTailLatencySeconds the
+	// mean over non-saturated samples, and LatencySaturatedSamples the
+	// number of samples where the alive fleet could not carry the
+	// offered load (rho >= 1).
+	LatencyKernel           string  `json:"latency_kernel,omitempty"`
+	LatencyPercentile       float64 `json:"latency_percentile,omitempty"`
+	TailLatencySeconds      float64 `json:"tail_latency_seconds,omitempty"`
+	AvgTailLatencySeconds   float64 `json:"avg_tail_latency_seconds,omitempty"`
+	LatencySaturatedSamples int     `json:"latency_saturated_samples,omitempty"`
+
 	PerType []TypeSummary `json:"per_type"`
 }
 
@@ -117,6 +131,12 @@ func (s *Summary) Metric(name string) (float64, bool) {
 		return s.DownNodeSeconds, true
 	case "availability":
 		return s.Availability, true
+	case "tail_latency_seconds":
+		return s.TailLatencySeconds, true
+	case "avg_tail_latency_seconds":
+		return s.AvgTailLatencySeconds, true
+	case "latency_saturated_samples":
+		return float64(s.LatencySaturatedSamples), true
 	}
 	return 0, false
 }
@@ -130,6 +150,8 @@ func MetricNames() []string {
 		"energy_proportionality", "avg_power_watts", "peak_power_watts",
 		"failures", "repairs", "throttle_events", "powercap_events",
 		"stragglers", "down_node_seconds", "availability",
+		"tail_latency_seconds", "avg_tail_latency_seconds",
+		"latency_saturated_samples",
 	}
 	sort.Strings(names)
 	return names
@@ -152,6 +174,11 @@ func (s *Summary) String() string {
 		s.EnergyProportionality, s.IdealEnergyJoules)
 	fmt.Fprintf(&b, "  chaos   %d failures, %d repairs, %d throttles, %d power caps, %d stragglers\n",
 		s.Failures, s.Repairs, s.ThrottleEvents, s.PowerCapEvents, s.Stragglers)
+	if s.LatencyKernel != "" {
+		fmt.Fprintf(&b, "  latency p%g %s   max %.4gs   avg %.4gs   %d saturated samples\n",
+			s.LatencyPercentile, s.LatencyKernel,
+			s.TailLatencySeconds, s.AvgTailLatencySeconds, s.LatencySaturatedSamples)
+	}
 	fmt.Fprintf(&b, "  uptime  availability %.4f   %s node-downtime   %d events\n",
 		s.Availability, fmtSeconds(s.DownNodeSeconds), s.Events)
 	return b.String()
@@ -193,6 +220,15 @@ func (s *Simulator) summarize(events uint64) *Result {
 		ThrottleEvents:  s.counters.throttles,
 		PowerCapEvents:  s.counters.caps,
 		Stragglers:      s.counters.stragglers,
+	}
+	if ls := s.spec.Latency; ls != nil {
+		sum.LatencyKernel = ls.kernelLabel()
+		sum.LatencyPercentile = ls.percentile()
+		sum.TailLatencySeconds = s.latencyMax
+		sum.LatencySaturatedSamples = s.latencySaturated
+		if s.latencySamples > 0 {
+			sum.AvgTailLatencySeconds = s.latencySum.Sum() / float64(s.latencySamples)
+		}
 	}
 
 	var energy, done, ideal, down stats.KahanSum

@@ -66,9 +66,22 @@ func quantizeRho(rho float64) float64 {
 	return q
 }
 
+// Kernel-identity tags for cache keys. The M/D/1 tag is the zero value,
+// so the original single-kernel entries keep their exact keys (and
+// shard placement). Distinct curves of one kernel family — the M/G/1
+// wait and sojourn mixtures — get distinct tags too, since they differ
+// at the same (rho, target, scv).
+const (
+	pctKindMD1 uint8 = iota
+	pctKindMG1Wait
+	pctKindMG1Resp
+)
+
 type pctKey struct {
 	rho    float64 // quantized
 	target uint64  // math.Float64bits(p/100)
+	kind   uint8   // kernel identity (pctKind*)
+	shape  uint64  // kernel shape bits (e.g. math.Float64bits(scv)); 0 for M/D/1
 }
 
 // pctEntry is a singleflight cell: the first goroutine to claim the key
@@ -117,6 +130,9 @@ type pctGeneration struct {
 // stripes instead of clustering them.
 func (g *pctGeneration) shard(key pctKey) *pctShard {
 	h := math.Float64bits(key.rho)*0x9E3779B97F4A7C15 ^ key.target*0xD6E8FEB86659FD93
+	// Kernel identity mixes in multiplicatively; the M/D/1 tag (0, 0)
+	// contributes nothing, preserving the original shard placement.
+	h ^= uint64(key.kind)*0xBF58476D1CE4E5B9 ^ key.shape*0x94D049BB133111EB
 	return &g.shards[(h>>56)&(pctShardCount-1)]
 }
 
@@ -208,6 +224,42 @@ func cachedNormalizedPercentile(rho, target float64, st *normState, rc *telemetr
 	return e.w, e.err
 }
 
+// kernelSolver solves a normalized percentile for a kernel identified
+// by its shape value (e.g. the M/G/1 SCV). Implementations must be
+// package-level functions: a per-call closure would cost the warm hit
+// path its zero-allocation guarantee.
+type kernelSolver func(rho, shape, target float64) (float64, error)
+
+// cachedKernelPercentile is the memo entry point for non-M/D/1 kernels:
+// kind and shapeBits extend the key with the kernel identity (for
+// M/G/1, the curve tag plus the raw SCV bits), so two kernels at the
+// same (rho, target) can never share a cell — the cross-kernel bleed
+// test in cache_test.go pins this. solve receives the quantized rho the
+// entry is keyed on plus the shape value, and runs singleflight inside
+// the cell's Once, exactly like the M/D/1 path.
+func cachedKernelPercentile(kind uint8, shapeBits uint64, shape, rho, target float64, rc *telemetry.RequestContext, solve kernelSolver) (float64, error) {
+	ins := instruments()
+	rhoQ := quantizeRho(rho)
+	key := pctKey{rho: rhoQ, target: math.Float64bits(target), kind: kind, shape: shapeBits}
+	gen := pctCache.Load()
+	sh := gen.shard(key)
+	e, loaded := sh.lookup(key)
+	if loaded {
+		ins.cacheHits.Inc()
+		rc.Add(telemetry.AttrCacheHits, 1)
+	} else {
+		ins.cacheMisses.Inc()
+		rc.Add(telemetry.AttrCacheMisses, 1)
+		if sh.size.Add(1) > pctShardMaxEntries {
+			resetPercentileCache()
+		}
+	}
+	e.once.Do(func() {
+		e.w, e.err = solve(rhoQ, shape, target)
+	})
+	return e.w, e.err
+}
+
 // solveNormalizedPercentile brackets and solves F(w) = target on the
 // normalized queue. st, when non-nil, seeds the lower bracket and
 // supplies the shared evaluator.
@@ -241,7 +293,7 @@ func solveNormalizedPercentile(rho, target float64, st *normState) (float64, err
 			return 0, errors.New("queueing: percentile bracket failed to converge")
 		}
 	}
-	return solveCDF(ev, target, lo, flo, hi, fhi), nil
+	return solveCDF(ev.cdf, target, lo, flo, hi, fhi), nil
 }
 
 // solveCDF finds w with F(w) = target inside a bracket by regula falsi
@@ -250,8 +302,9 @@ func solveNormalizedPercentile(rho, target float64, st *normState) (float64, err
 // bisection on the smooth, near-exponential tail), and halving the
 // retained end's residual whenever the same side survives twice keeps
 // the superlinear convergence guarantee bisection would otherwise be
-// needed for.
-func solveCDF(ev *cdfEvaluator, target, lo, flo, hi, fhi float64) float64 {
+// needed for. cdf may be any monotone CDF — the M/D/1 evaluator, the
+// M/G/1 mixtures, or the M/M/k sojourn.
+func solveCDF(cdf func(float64) float64, target, lo, flo, hi, fhi float64) float64 {
 	glo, ghi := flo-target, fhi-target
 	side := 0
 	for i := 0; i < 200 && hi-lo > 1e-12*math.Max(1, hi); i++ {
@@ -262,7 +315,7 @@ func solveCDF(ev *cdfEvaluator, target, lo, flo, hi, fhi float64) float64 {
 		if !(mid > lo && mid < hi) {
 			mid = lo + 0.5*(hi-lo)
 		}
-		g := ev.cdf(mid) - target
+		g := cdf(mid) - target
 		if g < 0 {
 			lo, glo = mid, g
 			if side == -1 {

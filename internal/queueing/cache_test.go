@@ -368,3 +368,90 @@ func TestPercentileCacheCrossShardAttribution(t *testing.T) {
 		t.Fatalf("global counters hits=%d misses=%d, want %d/%d", gHits, gMisses, len(ps), len(ps))
 	}
 }
+
+// TestPercentileCacheNoCrossKernelBleed is the regression test for the
+// kernel-identity extension of the cache key: the same (rho, p) through
+// different kernels must produce different results from different
+// cells, each independently cached — never one kernel's percentile
+// served to another. Before kind/shape joined pctKey, the M/G/1 mixture
+// solve at (rho, p) would have collided with the M/D/1 entry.
+func TestPercentileCacheNoCrossKernelBleed(t *testing.T) {
+	reg := telemetry.New()
+	telemetry.SetGlobal(reg)
+	defer telemetry.SetGlobal(nil)
+	resetPercentileCache()
+	defer resetPercentileCache()
+
+	const (
+		rho = 0.687194176253
+		d   = 1.0
+		p   = 95.0
+	)
+	md1, err := NewMD1FromUtilization(rho, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg1, err := NewMG1FromUtilization(rho, d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg2, err := NewMG1FromUtilization(rho, d, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wMD1, err := md1.WaitPercentile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wMG1, err := mg1.WaitPercentile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wMG2, err := mg2.WaitPercentile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rMG1, err := mg1.ResponsePercentile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same (rho, p), different kernel identity: the results must differ
+	// materially (the SCV = 0.5 mixture is strictly slower than M/D/1),
+	// including between two shapes of the same kernel family and between
+	// the wait and sojourn curves of one kernel.
+	if wMG1 <= wMD1 {
+		t.Fatalf("mg1(0.5) wait %.12g not above md1 %.12g at same (rho, p)", wMG1, wMD1)
+	}
+	if wMG2 <= wMD1 || wMG2 >= wMG1 {
+		t.Fatalf("mg1(0.25) wait %.12g not strictly between md1 %.12g and mg1(0.5) %.12g", wMG2, wMD1, wMG1)
+	}
+	if rMG1 <= wMG1 {
+		t.Fatalf("mg1 response %.12g not above its wait %.12g", rMG1, wMG1)
+	}
+
+	// Warm repeats of every variant must be pure cache hits returning the
+	// identical bits.
+	missesBefore := reg.Counter("queueing.percentile_cache_misses").Value()
+	hitsBefore := reg.Counter("queueing.percentile_cache_hits").Value()
+	for i := 0; i < 2; i++ {
+		if w, _ := md1.WaitPercentile(p); w != wMD1 {
+			t.Fatalf("warm md1 wait %.17g != %.17g", w, wMD1)
+		}
+		if w, _ := mg1.WaitPercentile(p); w != wMG1 {
+			t.Fatalf("warm mg1 wait %.17g != %.17g", w, wMG1)
+		}
+		if w, _ := mg2.WaitPercentile(p); w != wMG2 {
+			t.Fatalf("warm mg1(0.25) wait %.17g != %.17g", w, wMG2)
+		}
+		if r, _ := mg1.ResponsePercentile(p); r != rMG1 {
+			t.Fatalf("warm mg1 response %.17g != %.17g", r, rMG1)
+		}
+	}
+	if got := reg.Counter("queueing.percentile_cache_misses").Value(); got != missesBefore {
+		t.Errorf("warm kernel repeats added %d cache misses", got-missesBefore)
+	}
+	if got := reg.Counter("queueing.percentile_cache_hits").Value(); got != hitsBefore+8 {
+		t.Errorf("warm kernel repeats: hits %d, want %d", got, hitsBefore+8)
+	}
+}

@@ -59,3 +59,56 @@ func FuzzPercentileCacheDifferential(f *testing.F) {
 }
 
 func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// FuzzKernelDifferential extends the differential fuzz across the
+// kernel registry: randomized (kernel, shape, rho, p) resolved through
+// a Spec — exactly as the epserve request fields select kernels — with
+// the fast percentile pinned to the kernel's slow reference within the
+// same 1e-9 budget as the M/D/1 target. The kind selector wraps, so
+// every input lands on a real kernel.
+func FuzzKernelDifferential(f *testing.F) {
+	f.Add(0.7, 95.0, 0.5, uint8(5), uint8(1))
+	f.Add(0.5, 99.0, 4.0, uint8(1), uint8(1))
+	f.Add(0.85, 90.0, 0.0, uint8(16), uint8(2))
+	f.Add(0.3, 50.0, 1.0, uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, rho, p, scv float64, servers, kindSel uint8) {
+		if !isFinite(rho) || !isFinite(p) || !isFinite(scv) {
+			t.Skip()
+		}
+		rho = 0.01 + math.Mod(math.Abs(rho), 0.9)
+		p = 1 + math.Mod(math.Abs(p), 98.99)
+		scv = math.Mod(math.Abs(scv), 6)
+		spec := Spec{Kind: Kind(kindSel % 3)}
+		switch spec.Kind {
+		case KindMG1:
+			spec.SCV = scv
+		case KindMMK:
+			spec.Servers = 1 + int(servers%32)
+		}
+		k, err := spec.Build(rho, 1)
+		if err != nil {
+			t.Fatalf("%v.Build(%g, 1): %v", spec, rho, err)
+		}
+		fast, err := k.WaitPercentile(p)
+		if err != nil {
+			t.Fatalf("%v rho=%g p=%g: %v", spec, rho, p, err)
+		}
+		var ref float64
+		switch q := k.(type) {
+		case MD1:
+			ref, err = q.waitPercentileReference(p)
+		case MG1:
+			ref, err = q.waitPercentileReference(p)
+		case MMK:
+			ref, err = q.waitPercentileReference(p)
+		}
+		if err != nil {
+			t.Fatalf("%v reference rho=%g p=%g: %v", spec, rho, p, err)
+		}
+		diff := math.Abs(fast - ref)
+		if diff > 1e-9*math.Max(1, math.Max(fast, ref)) {
+			t.Fatalf("%v rho=%g p=%g: fast=%.17g reference=%.17g (diff %g)",
+				spec, rho, p, fast, ref, diff)
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"math/big"
+)
+
+// This file extends reference.go to the generalized kernels: slow,
+// straightforward evaluations — term-by-term extended precision where
+// precision matters, blind bisection instead of bracketed regula falsi —
+// that the conformance suite pins the fast kernels against. Nothing
+// outside tests and benchmarks should call them.
+
+// mg1WaitCDFReference rebuilds the two-moment wait CDF from its
+// definition, with the M/D/1 component evaluated by the term-by-term
+// extended-precision reference rather than the incremental fast kernel.
+func (q MG1) mg1WaitCDFReference(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	rho := q.Rho()
+	switch {
+	case q.SCV <= 0:
+		return q.md1().waitCDFReference(t)
+	case q.SCV < 1:
+		return (1-q.SCV)*q.md1().waitCDFReference(t) + q.SCV*mm1WaitCDF(rho, q.D, t)
+	default:
+		return 1 - rho*math.Exp(-t/q.tailTheta())
+	}
+}
+
+// mg1ResponseCDFReference is the sojourn counterpart.
+func (q MG1) mg1ResponseCDFReference(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	rho := q.Rho()
+	switch {
+	case q.SCV <= 0:
+		if t < q.D {
+			return 0
+		}
+		return q.md1().waitCDFReference(t - q.D)
+	case q.SCV < 1:
+		var fd float64
+		if t >= q.D {
+			fd = q.md1().waitCDFReference(t - q.D)
+		}
+		fm := 1 - math.Exp(-(1-rho)*t/q.D)
+		return (1-q.SCV)*fd + q.SCV*fm
+	default:
+		beta := rho + 2*(1-rho)/(1+q.SCV)
+		v := 1 - beta*math.Exp(-t/q.tailTheta())
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+}
+
+// waitPercentileReference inverts the reference wait CDF by geometric
+// bracketing plus blind bisection, mirroring the M/D/1 reference search.
+func (q MG1) waitPercentileReference(p float64) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	return bisectCDFReference(q.mg1WaitCDFReference, p/100, q.MeanWait(), q.D)
+}
+
+// responsePercentileReference inverts the reference sojourn CDF.
+func (q MG1) responsePercentileReference(p float64) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	return bisectCDFReference(q.mg1ResponseCDFReference, p/100, q.MeanResponse(), q.D)
+}
+
+// erlangBReference computes the Erlang-B blocking probability from the
+// defining ratio B = (a^k/k!) / sum_{j=0}^{k} a^j/j! entirely in
+// extended precision — factorially large numerators and all — pinning
+// the float64 recurrence in ErlangB against cancellation or drift.
+func erlangBReference(k int, a float64) float64 {
+	if k < 1 || a <= 0 {
+		return 0
+	}
+	const prec = 256
+	ab := new(big.Float).SetPrec(prec).SetFloat64(a)
+	term := new(big.Float).SetPrec(prec).SetFloat64(1) // a^j / j!
+	sum := new(big.Float).SetPrec(prec).SetFloat64(1)  // j = 0 term
+	div := new(big.Float).SetPrec(prec)
+	for j := 1; j <= k; j++ {
+		term.Mul(term, ab)
+		term.Quo(term, div.SetInt64(int64(j)))
+		sum.Add(sum, term)
+	}
+	term.Quo(term, sum)
+	v, _ := term.Float64()
+	return v
+}
+
+// erlangCReference derives the delay probability from the reference
+// Erlang-B in extended precision.
+func erlangCReference(k int, a float64) float64 {
+	if k < 1 || a <= 0 {
+		return 0
+	}
+	if a >= float64(k) {
+		return 1
+	}
+	const prec = 256
+	b := new(big.Float).SetPrec(prec).SetFloat64(erlangBReference(k, a))
+	one := new(big.Float).SetPrec(prec).SetFloat64(1)
+	rho := new(big.Float).SetPrec(prec).SetFloat64(a / float64(k))
+	den := new(big.Float).SetPrec(prec).Sub(one, b)
+	den.Mul(den, rho)
+	den.Sub(one, den)
+	c := new(big.Float).SetPrec(prec).Quo(b, den)
+	v, _ := c.Float64()
+	return v
+}
+
+// mmkWaitCDFReference rebuilds the wait CDF from the reference Erlang-C.
+func (q MMK) mmkWaitCDFReference(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	c := erlangCReference(q.K, q.Offered())
+	return 1 - c*math.Exp(-q.waitRate()*t)
+}
+
+// mmkResponseCDFReference rebuilds the sojourn CDF from the reference
+// Erlang-C and the exponential convolution evaluated directly.
+func (q MMK) mmkResponseCDFReference(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	mu := 1 / q.D
+	omega := q.waitRate()
+	c := erlangCReference(q.K, q.Offered())
+	var tail float64
+	if math.Abs(omega-mu) <= 1e-9*mu {
+		tail = (1-c)*math.Exp(-mu*t) + c*math.Exp(-mu*t)*(1+mu*t)
+	} else {
+		tail = (1-c)*math.Exp(-mu*t) +
+			c*(omega*math.Exp(-mu*t)-mu*math.Exp(-omega*t))/(omega-mu)
+	}
+	v := 1 - tail
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// waitPercentileReference inverts the reference wait CDF by bisection.
+func (q MMK) waitPercentileReference(p float64) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	return bisectCDFReference(q.mmkWaitCDFReference, p/100, q.MeanWait(), q.D)
+}
+
+// responsePercentileReference inverts the reference sojourn CDF.
+func (q MMK) responsePercentileReference(p float64) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	return bisectCDFReference(q.mmkResponseCDFReference, p/100, q.MeanResponse(), q.D)
+}
+
+// bisectCDFReference is the shared reference search: no interpolation,
+// no caching — geometric bracketing from the mean (falling back to the
+// service time for empty queues) and ~100 bisection steps.
+func bisectCDFReference(cdf func(float64) float64, target, mean, d float64) (float64, error) {
+	if cdf(0) >= target {
+		return 0, nil
+	}
+	hi := mean
+	if hi <= 0 {
+		hi = d
+	}
+	for i := 0; cdf(hi) < target; i++ {
+		hi *= 2
+		if i > 60 {
+			return 0, errors.New("queueing: percentile bracket failed to converge")
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 100 && hi-lo > 1e-12*math.Max(1, hi); i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

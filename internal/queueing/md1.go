@@ -48,6 +48,9 @@ func NewMD1FromUtilization(rho, serviceTime float64) (MD1, error) {
 	return MD1{Lambda: rho / serviceTime, D: serviceTime}, nil
 }
 
+// Name returns the kernel registry name.
+func (q MD1) Name() string { return "md1" }
+
 // Validate checks queue parameters for stability.
 func (q MD1) Validate() error {
 	if q.D <= 0 {
@@ -230,6 +233,25 @@ func (q MM1) Rho() float64 { return q.Lambda * q.D }
 // MeanResponse returns D/(1-rho).
 func (q MM1) MeanResponse() float64 {
 	return q.D / (1 - q.Rho())
+}
+
+// WaitPercentile returns the p-th percentile of the M/M/1 waiting time
+// in closed form: the distribution has the atom P(W = 0) = 1-rho, above
+// which P(W <= t) = 1 - rho*e^{-(1-rho)t/D}. The cross-kernel limit
+// tests pin M/G/1@SCV=1 and M/M/k@k=1 to this.
+func (q MM1) WaitPercentile(p float64) (float64, error) {
+	rho := q.Rho()
+	if rho >= 1 || q.D <= 0 {
+		return 0, errors.New("queueing: unstable M/M/1")
+	}
+	if p < 0 || p >= 100 {
+		return 0, fmt.Errorf("queueing: percentile %g outside [0, 100)", p)
+	}
+	target := p / 100
+	if 1-rho >= target {
+		return 0, nil
+	}
+	return math.Log(rho/(1-target)) * q.D / (1 - rho), nil
 }
 
 // ResponsePercentile returns the p-th percentile of the M/M/1 sojourn

@@ -1,0 +1,372 @@
+package queueing
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/telemetry"
+)
+
+// MG1 is a two-moment M/G/1 queue: Poisson arrivals at rate Lambda,
+// general service with mean D and squared coefficient of variation SCV.
+// The mean wait is the exact Pollaczek-Khinchine delay
+// rho*D*(1+SCV)/(2*(1-rho)) for every SCV; the distribution is an
+// interpolation anchored at the two exactly-known endpoints:
+//
+//   - SCV = 0 delegates to the M/D/1 Crommelin kernel (exact), so the
+//     default model is reproduced bit-for-bit.
+//   - SCV = 1 is the exact M/M/1 closed form.
+//   - 0 < SCV < 1 uses the CDF mixture (1-SCV)*F_MD1 + SCV*F_MM1, whose
+//     mean is exactly the P-K delay (E[W_MM1] = 2*E[W_MD1]) and which is
+//     pointwise monotone in SCV because F_MD1 >= F_MM1 everywhere.
+//   - SCV > 1 uses the standard heavy-traffic exponential tail
+//     P(W > t) = rho*e^{-t/theta} with theta = E[W]/rho, continuous with
+//     the mixture at SCV = 1 and again mean-exact.
+//
+// The conformance suite pins the endpoints to the exact kernels and the
+// interpolated regimes to DES simulation at documented tolerances.
+type MG1 struct {
+	// Lambda is the arrival rate (jobs per second).
+	Lambda float64
+	// D is the mean service time (seconds).
+	D float64
+	// SCV is the squared coefficient of variation Var[S]/E[S]^2 of the
+	// service time: 0 deterministic, 1 exponential, >1 hyperexponential.
+	SCV float64
+}
+
+// NewMG1FromUtilization builds the queue for a target utilization
+// rho = Lambda*D at the given mean service time and service-time SCV.
+func NewMG1FromUtilization(rho, serviceTime, scv float64) (MG1, error) {
+	if serviceTime <= 0 {
+		return MG1{}, errors.New("queueing: service time must be positive")
+	}
+	if rho < 0 || rho >= 1 {
+		return MG1{}, fmt.Errorf("queueing: utilization %g outside [0, 1)", rho)
+	}
+	q := MG1{Lambda: rho / serviceTime, D: serviceTime, SCV: scv}
+	if err := q.Validate(); err != nil {
+		return MG1{}, err
+	}
+	return q, nil
+}
+
+// Name returns the kernel registry name.
+func (q MG1) Name() string { return "mg1" }
+
+// Validate checks queue parameters for stability.
+func (q MG1) Validate() error {
+	if q.D <= 0 {
+		return errors.New("queueing: service time must be positive")
+	}
+	if q.Lambda < 0 {
+		return errors.New("queueing: negative arrival rate")
+	}
+	if q.SCV < 0 || math.IsInf(q.SCV, 0) || math.IsNaN(q.SCV) {
+		return fmt.Errorf("queueing: scv %g must be finite and >= 0", q.SCV)
+	}
+	if q.Rho() >= 1 {
+		return fmt.Errorf("queueing: unstable queue, rho = %g >= 1", q.Rho())
+	}
+	return nil
+}
+
+// Rho returns the utilization Lambda*D.
+func (q MG1) Rho() float64 { return q.Lambda * q.D }
+
+// md1 returns the deterministic-service queue at the same load.
+func (q MG1) md1() MD1 { return MD1{Lambda: q.Lambda, D: q.D} }
+
+// MeanWait returns the exact Pollaczek-Khinchine mean queueing delay
+// lambda*E[S^2]/(2*(1-rho)) = rho*D*(1+SCV)/(2*(1-rho)).
+func (q MG1) MeanWait() float64 {
+	rho := q.Rho()
+	return rho * q.D * (1 + q.SCV) / (2 * (1 - rho))
+}
+
+// MeanResponse returns the mean sojourn time. Exact in every SCV
+// regime: both the mixture and the exponential-tail branch reproduce
+// MeanWait + D.
+func (q MG1) MeanResponse() float64 { return q.MeanWait() + q.D }
+
+// tailTheta returns the time constant D*(1+SCV)/(2*(1-rho)) of the
+// SCV >= 1 exponential wait tail, chosen so that rho*theta equals the
+// exact P-K mean wait.
+func (q MG1) tailTheta() float64 {
+	return q.D * (1 + q.SCV) / (2 * (1 - q.Rho()))
+}
+
+// mm1WaitCDF is the exact M/M/1 waiting-time CDF 1 - rho*e^{-(1-rho)t/d}.
+func mm1WaitCDF(rho, d, t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return 1 - rho*math.Exp(-(1-rho)*t/d)
+}
+
+// WaitCDF returns P(W <= t) under the two-moment interpolation.
+func (q MG1) WaitCDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	rho := q.Rho()
+	if rho >= 1 {
+		return 0
+	}
+	switch {
+	case q.SCV <= 0:
+		return q.md1().WaitCDF(t)
+	case q.SCV < 1:
+		return (1-q.SCV)*q.md1().WaitCDF(t) + q.SCV*mm1WaitCDF(rho, q.D, t)
+	default:
+		return 1 - rho*math.Exp(-t/q.tailTheta())
+	}
+}
+
+// ResponseCDF returns P(R <= t) for the sojourn time. The mixture
+// branch mixes the component sojourn CDFs; the SCV >= 1 branch uses the
+// exponential tail 1 - beta*e^{-t/theta} sharing the wait tail's time
+// constant with beta = rho + 2*(1-rho)/(1+SCV), which keeps R
+// stochastically no smaller than W, reduces to the exact M/M/1 sojourn
+// at SCV = 1, and reproduces the exact mean response.
+func (q MG1) ResponseCDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	rho := q.Rho()
+	if rho >= 1 {
+		return 0
+	}
+	switch {
+	case q.SCV <= 0:
+		return q.md1().ResponseCDF(t)
+	case q.SCV < 1:
+		fm := 1 - math.Exp(-(1-rho)*t/q.D)
+		return (1-q.SCV)*q.md1().ResponseCDF(t) + q.SCV*fm
+	default:
+		beta := rho + 2*(1-rho)/(1+q.SCV)
+		v := 1 - beta*math.Exp(-t/q.tailTheta())
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+}
+
+// WaitPercentile returns the p-th percentile (p in [0,100)) of the
+// waiting time. Like M/D/1, the model is scale free in D at fixed rho,
+// so mixture solves run on the normalized queue through the process-wide
+// percentile cache — keyed by the kernel kind and the SCV bits, so
+// kernels at the same (rho, p) never share a cell.
+func (q MG1) WaitPercentile(p float64) (float64, error) {
+	return q.waitPercentile(p, nil)
+}
+
+func (q MG1) waitPercentile(p float64, rc *telemetry.RequestContext) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if q.SCV <= 0 {
+		return q.md1().WaitPercentile(p)
+	}
+	if p < 0 || p >= 100 {
+		return 0, fmt.Errorf("queueing: percentile %g outside [0, 100)", p)
+	}
+	ins := instruments()
+	ins.searches.Inc()
+	span := ins.tracer.Start("queueing.wait_percentile")
+	if span != nil {
+		span.Arg("p", p)
+	}
+	defer span.End()
+	target := p / 100
+	rho := q.Rho()
+	// Every branch keeps the atom P(W = 0) = 1-rho.
+	if 1-rho >= target {
+		return 0, nil
+	}
+	if q.SCV >= 1 {
+		// Closed-form exponential tail; no search, no cache entry.
+		return q.tailTheta() * math.Log(rho/(1-target)), nil
+	}
+	w, err := cachedKernelPercentile(pctKindMG1Wait, math.Float64bits(q.SCV), q.SCV, rho, target, rc, solveMG1WaitPercentile)
+	if err != nil {
+		return 0, err
+	}
+	return w * q.D, nil
+}
+
+// solveMG1WaitPercentile solves the mixture CDF for the normalized
+// (D = 1) wait percentile at 0 < scv < 1. The component percentiles
+// bracket the mixture exactly: F_MD1 >= F_mix >= F_MM1 pointwise, so the
+// M/D/1 percentile (itself cached) is a valid lower bracket and the
+// M/M/1 closed form an upper one.
+func solveMG1WaitPercentile(rho, scv, target float64) (float64, error) {
+	st := &normState{flo: 1 - rho}
+	lo, err := cachedNormalizedPercentile(rho, target, st, nil)
+	if err != nil {
+		return 0, err
+	}
+	ev := st.ev
+	if ev == nil {
+		ev = &cdfEvaluator{q: MD1{Lambda: rho, D: 1}, rho: rho}
+	}
+	mix := func(t float64) float64 {
+		return (1-scv)*ev.cdf(t) + scv*mm1WaitCDF(rho, 1, t)
+	}
+	hi := math.Log(rho/(1-target)) / (1 - rho)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	flo, fhi := mix(lo), mix(hi)
+	for i := 0; fhi < target; i++ {
+		lo, flo = hi, fhi
+		hi *= 2
+		fhi = mix(hi)
+		if i > 60 {
+			return 0, errors.New("queueing: percentile bracket failed to converge")
+		}
+	}
+	return solveCDF(mix, target, lo, flo, hi, fhi), nil
+}
+
+// ResponsePercentile returns the p-th percentile of the sojourn time.
+func (q MG1) ResponsePercentile(p float64) (float64, error) {
+	return q.responsePercentile(p, nil)
+}
+
+func (q MG1) responsePercentile(p float64, rc *telemetry.RequestContext) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if q.SCV <= 0 {
+		return q.md1().ResponsePercentile(p)
+	}
+	if p < 0 || p >= 100 {
+		return 0, fmt.Errorf("queueing: percentile %g outside [0, 100)", p)
+	}
+	ins := instruments()
+	ins.searches.Inc()
+	span := ins.tracer.Start("queueing.response_percentile")
+	if span != nil {
+		span.Arg("p", p)
+	}
+	defer span.End()
+	target := p / 100
+	if target <= 0 {
+		return 0, nil
+	}
+	rho := q.Rho()
+	if q.SCV >= 1 {
+		beta := rho + 2*(1-rho)/(1+q.SCV)
+		if 1-beta >= target {
+			return 0, nil
+		}
+		return q.tailTheta() * math.Log(beta/(1-target)), nil
+	}
+	r, err := cachedKernelPercentile(pctKindMG1Resp, math.Float64bits(q.SCV), q.SCV, rho, target, rc, solveMG1ResponsePercentile)
+	if err != nil {
+		return 0, err
+	}
+	return r * q.D, nil
+}
+
+// solveMG1ResponsePercentile solves the mixture sojourn CDF on the
+// normalized queue at 0 < scv < 1. Unlike the wait, the component
+// sojourn CDFs cross (M/M/1 has mass below the deterministic service
+// time), so the search starts from zero and only the upper bracket
+// comes from the component percentiles.
+func solveMG1ResponsePercentile(rho, scv, target float64) (float64, error) {
+	st := &normState{flo: 1 - rho}
+	wd, err := cachedNormalizedPercentile(rho, target, st, nil)
+	if err != nil {
+		return 0, err
+	}
+	ev := st.ev
+	if ev == nil {
+		ev = &cdfEvaluator{q: MD1{Lambda: rho, D: 1}, rho: rho}
+	}
+	mix := func(t float64) float64 {
+		var fd float64
+		if t >= 1 {
+			fd = ev.cdf(t - 1)
+		}
+		return (1-scv)*fd + scv*(1-math.Exp(-(1-rho)*t))
+	}
+	hi := math.Max(wd+1, math.Log(1/(1-target))/(1-rho))
+	fhi := mix(hi)
+	for i := 0; fhi < target; i++ {
+		hi *= 2
+		fhi = mix(hi)
+		if i > 60 {
+			return 0, errors.New("queueing: percentile bracket failed to converge")
+		}
+	}
+	return solveCDF(mix, target, 0, 0, hi, fhi), nil
+}
+
+// WaitPercentiles returns the waiting-time percentiles for every p in
+// ps, in input order; results are identical to calling WaitPercentile
+// per entry.
+func (q MG1) WaitPercentiles(ps []float64) ([]float64, error) {
+	return q.WaitPercentilesContext(context.Background(), ps)
+}
+
+// WaitPercentilesContext is the batch API with cancellation, checked
+// between percentile searches like the M/D/1 batch. The SCV = 0 case
+// delegates to the M/D/1 batch and its shared-bracket optimization.
+func (q MG1) WaitPercentilesContext(ctx context.Context, ps []float64) ([]float64, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.SCV <= 0 {
+		return q.md1().WaitPercentilesContext(ctx, ps)
+	}
+	rc := telemetry.RequestFrom(ctx)
+	defer rc.Phase("queueing.percentiles")()
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("queueing: percentile batch: %w", err)
+		}
+		w, err := q.waitPercentile(p, rc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// ResponsePercentiles returns the sojourn-time percentiles for every p
+// in ps, in input order.
+func (q MG1) ResponsePercentiles(ps []float64) ([]float64, error) {
+	return q.ResponsePercentilesContext(context.Background(), ps)
+}
+
+// ResponsePercentilesContext is the batched sojourn percentiles with
+// cancellation.
+func (q MG1) ResponsePercentilesContext(ctx context.Context, ps []float64) ([]float64, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.SCV <= 0 {
+		return q.md1().ResponsePercentilesContext(ctx, ps)
+	}
+	rc := telemetry.RequestFrom(ctx)
+	defer rc.Phase("queueing.percentiles")()
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("queueing: percentile batch: %w", err)
+		}
+		r, err := q.responsePercentile(p, rc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/queueing"
+)
+
+// latency_test.go covers the top-level latency: block of the scenario
+// language — decoding, defaults, the validation surface, and the probe
+// metrics reaching the assertion engine end to end.
+
+const latencyScenario = `
+name: tail-probe
+workload: EP
+duration: 60s
+utilization: 0.7
+fleet:
+  - type: A9
+    count: 8
+  - type: K10
+    count: 2
+latency:
+  kernel: mg1
+  scv: 4
+  percentile: 99
+events:
+  - at: 20s
+    action: fail
+    target:
+      type: A9
+      count: 4
+assertions:
+  - metric: tail_latency_seconds
+    op: ">"
+    value: 0
+  - metric: avg_tail_latency_seconds
+    op: ">"
+    value: 0
+  - metric: latency_saturated_samples
+    op: "=="
+    value: 0
+`
+
+func TestLatencyBlockDecodes(t *testing.T) {
+	sc, err := Parse([]byte(latencyScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &fleet.LatencySpec{
+		Kernel:     queueing.Spec{Kind: queueing.KindMG1, SCV: 4},
+		Percentile: 99,
+	}
+	if sc.Latency == nil || *sc.Latency != *want {
+		t.Fatalf("latency block decoded to %+v, want %+v", sc.Latency, want)
+	}
+}
+
+func TestLatencyBlockRunsWithAssertions(t *testing.T) {
+	catalog, registry := testEnv(t)
+	sc, err := Parse([]byte(latencyScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sc.Build(catalog, registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Latency == nil {
+		t.Fatal("Build dropped the latency spec")
+	}
+	sim, err := fleet.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if s.LatencyKernel != "mg1(scv=4)" || s.LatencyPercentile != 99 {
+		t.Fatalf("probe labels = %q p%g", s.LatencyKernel, s.LatencyPercentile)
+	}
+	// The fail event degrades the fleet mid-run, so the worst sample
+	// must sit above the average.
+	if !(s.TailLatencySeconds > s.AvgTailLatencySeconds) {
+		t.Fatalf("max %g not above avg %g", s.TailLatencySeconds, s.AvgTailLatencySeconds)
+	}
+	if fails := sc.CheckAll(s); len(fails) != 0 {
+		t.Errorf("latency assertions failed: %v", fails)
+	}
+}
+
+func TestLatencyBlockDefaults(t *testing.T) {
+	src := strings.Replace(latencyScenario,
+		"latency:\n  kernel: mg1\n  scv: 4\n  percentile: 99\n", "latency:\n  kernel: md1\n", 1)
+	sc, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Latency == nil || *sc.Latency != (fleet.LatencySpec{}) {
+		t.Fatalf("kernel-only latency block decoded to %+v, want the md1/p95 default", sc.Latency)
+	}
+
+	// Absent block: no probe at all.
+	src = strings.Replace(latencyScenario,
+		"latency:\n  kernel: mg1\n  scv: 4\n  percentile: 99\n", "", 1)
+	sc, err = Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Latency != nil {
+		t.Fatalf("absent latency block decoded to %+v, want nil", sc.Latency)
+	}
+}
+
+func TestLatencyBlockErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, block, want string
+	}{
+		{"unknown kernel", "latency:\n  kernel: zzz\n", "unknown kernel"},
+		{"unknown field", "latency:\n  servrs: 3\n", "unknown field"},
+		{"scv on md1", "latency:\n  scv: 1\n", "scv applies"},
+		{"bad percentile", "latency:\n  percentile: 100\n", "outside [0, 100)"},
+		{"servers on mg1", "latency:\n  kernel: mg1\n  servers: 2\n", "servers applies"},
+	} {
+		src := strings.Replace(latencyScenario,
+			"latency:\n  kernel: mg1\n  scv: 4\n  percentile: 99\n", tc.block, 1)
+		if _, err := Parse([]byte(src)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}

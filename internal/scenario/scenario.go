@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fleet"
 	"repro/internal/hardware"
+	"repro/internal/queueing"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -32,6 +33,7 @@ type Scenario struct {
 	Fleet   []Template
 	Chaos   fleet.Chaos
 	Events  []fleet.TimedEvent
+	Latency *fleet.LatencySpec
 	Asserts []Assertion
 }
 
@@ -255,7 +257,8 @@ func (d *decoder) scenario(root yamlValue) *Scenario {
 	m := d.mapping(root, "scenario")
 	d.knownKeys(m, "scenario",
 		"name", "description", "workload", "seed", "duration", "slice",
-		"utilization", "nodes", "fleet", "chaos", "events", "assertions")
+		"utilization", "nodes", "fleet", "chaos", "events", "latency",
+		"assertions")
 	sc := &Scenario{Seed: 1, Utilization: 1, Slice: 1}
 	for key, v := range m {
 		if d.err != nil {
@@ -288,6 +291,8 @@ func (d *decoder) scenario(root yamlValue) *Scenario {
 			sc.Chaos = d.chaos(v)
 		case "events":
 			sc.Events = d.events(v)
+		case "latency":
+			sc.Latency = d.latency(v)
 		case "assertions":
 			sc.Asserts = d.assertions(v)
 		}
@@ -445,6 +450,45 @@ func (d *decoder) events(v yamlValue) []fleet.TimedEvent {
 	return out
 }
 
+// latency decodes the tail-latency probe block: kernel selects the
+// queueing model (md1 default, mg1, mmk), scv the M/G/1 service-time
+// variability, servers the M/M/k pool size (omit for the alive node
+// count), percentile the probed response-time percentile (default 95).
+func (d *decoder) latency(v yamlValue) *fleet.LatencySpec {
+	m := d.mapping(v, "latency")
+	d.knownKeys(m, "latency", "kernel", "scv", "servers", "percentile")
+	ls := &fleet.LatencySpec{}
+	for key, fv := range m {
+		if d.err != nil {
+			return nil
+		}
+		p := "latency." + key
+		switch key {
+		case "kernel":
+			kind, err := queueing.ParseKind(d.str(fv, p))
+			if err != nil {
+				d.fail(p, "%v", err)
+				return nil
+			}
+			ls.Kernel.Kind = kind
+		case "scv":
+			ls.Kernel.SCV = d.float(fv, p)
+		case "servers":
+			ls.Kernel.Servers = d.integer(fv, p)
+		case "percentile":
+			ls.Percentile = d.float(fv, p)
+		}
+	}
+	if d.err != nil {
+		return nil
+	}
+	if err := ls.Validate(); err != nil {
+		d.fail("latency", "%v", err)
+		return nil
+	}
+	return ls
+}
+
 // target decodes either the shorthand string "all" or a mapping with
 // type/node/count/fraction.
 func (d *decoder) target(v yamlValue, path string) fleet.Target {
@@ -502,6 +546,7 @@ func (s *Scenario) Build(catalog *hardware.Catalog, registry *workload.Registry)
 		Seed:        s.Seed,
 		Chaos:       s.Chaos,
 		Events:      s.Events,
+		Latency:     s.Latency,
 	}
 	if err := spec.Validate(); err != nil {
 		return fleet.Spec{}, err

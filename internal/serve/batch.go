@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"sync/atomic"
 
+	"repro/internal/queueing"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
@@ -111,15 +112,25 @@ type PercentilesBatchItem struct {
 	D        float64   `json:"d,omitempty"`
 	U        []float64 `json:"u,omitempty"`
 	P        []float64 `json:"p,omitempty"`
+	// Kernel selects the queueing kernel ("md1", "mg1", "mmk"); SCV and
+	// Servers carry its shape parameter. An item naming a kernel uses its
+	// own (kernel, scv, servers) triple wholly; items that omit it fall
+	// back to the request-level triple, then to the M/D/1 default.
+	Kernel  string  `json:"kernel,omitempty"`
+	SCV     float64 `json:"scv,omitempty"`
+	Servers int     `json:"servers,omitempty"`
 }
 
 // PercentilesBatchRequest is the POST /v1/percentiles body: Items
-// crossed with their utilization points, request-level U and P serving
-// as defaults for items that omit them.
+// crossed with their utilization points, request-level U, P and the
+// kernel triple serving as defaults for items that omit them.
 type PercentilesBatchRequest struct {
-	U     []float64              `json:"u,omitempty"`
-	P     []float64              `json:"p,omitempty"`
-	Items []PercentilesBatchItem `json:"items"`
+	U       []float64              `json:"u,omitempty"`
+	P       []float64              `json:"p,omitempty"`
+	Kernel  string                 `json:"kernel,omitempty"`
+	SCV     float64                `json:"scv,omitempty"`
+	Servers int                    `json:"servers,omitempty"`
+	Items   []PercentilesBatchItem `json:"items"`
 }
 
 // uFor returns item i's utilization list after defaulting.
@@ -142,6 +153,17 @@ func (req *PercentilesBatchRequest) pFor(i int) []float64 {
 }
 
 var defaultPercentiles = []float64{50, 95, 99}
+
+// kernelFor resolves item i's kernel spec after defaulting: the item's
+// own triple when it names a kernel, the request-level triple
+// otherwise. Omitting both yields the M/D/1 default.
+func (req *PercentilesBatchRequest) kernelFor(i int) (queueing.Spec, error) {
+	kernel, scv, servers := req.Kernel, req.SCV, req.Servers
+	if it := &req.Items[i]; it.Kernel != "" {
+		kernel, scv, servers = it.Kernel, it.SCV, it.Servers
+	}
+	return kernelSpecFrom(kernel, scv, servers)
+}
 
 // expandedCount validates the batch's structure and returns the
 // expanded evaluation count (= the admission weight): the sum over
@@ -216,6 +238,7 @@ type pctBatchEntry struct {
 	ps          []float64
 	wlName, mix string
 	serviceTime float64
+	spec        queueing.Spec
 	err         *BatchItemError // resolution failure, set before fan-out
 }
 
@@ -265,6 +288,13 @@ func (s *Server) handlePercentilesBatch(w http.ResponseWriter, r *http.Request) 
 				break
 			}
 		}
+		if spec, err := req.kernelFor(i); err != nil {
+			if proto.err == nil {
+				proto.err = &BatchItemError{Code: "bad_request", Message: err.Error()}
+			}
+		} else {
+			proto.spec = spec
+		}
 		for _, u := range req.uFor(i) {
 			e := proto
 			e.u = u
@@ -287,7 +317,7 @@ func (s *Server) handlePercentilesBatch(w http.ResponseWriter, r *http.Request) 
 				Message: fmt.Sprintf("utilization u=%g outside [0, 1)", e.u)}
 			return
 		}
-		v, err := s.percentilesShared(ctx, e.wlName, e.mix, e.serviceTime, e.u, e.ps)
+		v, err := s.percentilesShared(ctx, e.wlName, e.mix, e.serviceTime, e.u, e.ps, e.spec)
 		switch {
 		case err == nil:
 			results[i].Result = v
@@ -424,6 +454,14 @@ type FrontierBatchItem struct {
 	PowerWatts      float64 `json:"power_watts,omitempty"`
 	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 	EnergyJoules    float64 `json:"energy_joules,omitempty"`
+	// U > 0 annotates every frontier point with the P-th percentile
+	// response time at that utilization under the selected kernel
+	// (P defaults to 95, the kernel triple to M/D/1).
+	U       float64 `json:"u,omitempty"`
+	P       float64 `json:"p,omitempty"`
+	Kernel  string  `json:"kernel,omitempty"`
+	SCV     float64 `json:"scv,omitempty"`
+	Servers int     `json:"servers,omitempty"`
 }
 
 // FrontierBatchRequest is the POST /v1/frontier body.
@@ -446,8 +484,11 @@ type FrontierBatchResponse struct {
 	Results []FrontierBatchResult `json:"results"`
 }
 
-// params maps item i onto the canonical frontierParams.
-func (req *FrontierBatchRequest) params(i int) frontierParams {
+// params maps item i onto the canonical frontierParams. Latency
+// annotation fields are validated here (the GET form validates in
+// frontierQueryParams); an invalid triple is reported through the
+// returned error and fails the item.
+func (req *FrontierBatchRequest) params(i int) (frontierParams, error) {
 	it := &req.Items[i]
 	p := frontierParams{
 		workload: it.Workload,
@@ -466,7 +507,25 @@ func (req *FrontierBatchRequest) params(i int) frontierParams {
 	if it.MaxK10 != nil {
 		p.maxK10 = *it.MaxK10
 	}
-	return p
+	if it.U != 0 {
+		if it.U < 0 || it.U >= 1 {
+			return p, fmt.Errorf("utilization u=%g outside (0, 1)", it.U)
+		}
+		p.u = it.U
+		p.pct = 95
+		if it.P != 0 {
+			if it.P < 0 || it.P >= 100 {
+				return p, fmt.Errorf("invalid percentile %g: want a number in [0, 100)", it.P)
+			}
+			p.pct = it.P
+		}
+		spec, err := kernelSpecFrom(it.Kernel, it.SCV, it.Servers)
+		if err != nil {
+			return p, err
+		}
+		p.spec = spec
+	}
+	return p, nil
 }
 
 // frontierUnits converts a configuration-space size into admission
@@ -513,10 +572,15 @@ func (s *Server) weighFrontier(w http.ResponseWriter, r *http.Request) (int64, *
 	}
 	var weight int64
 	for i := range req.Items {
-		if _, space, _, err := s.frontierPlan(req.params(i)); err == nil {
+		p, err := req.params(i)
+		if err != nil {
+			weight++ // invalid item: costs one unit, fails per-item below
+			continue
+		}
+		if _, space, _, err := s.frontierPlan(p); err == nil {
 			weight += frontierUnits(space)
 		} else {
-			weight++ // invalid item: costs one unit, fails per-item below
+			weight++
 		}
 	}
 	return weight, stashBatch(r, req), true
@@ -546,7 +610,11 @@ func (s *Server) handleFrontierBatch(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	ferr := sweep.ForEachContext(ctx, len(req.Items), s.cfg.Workers, func(i int) {
 		results[i] = FrontierBatchResult{Item: i}
-		p := req.params(i)
+		p, err := req.params(i)
+		if err != nil {
+			results[i].Error = &BatchItemError{Code: "bad_request", Message: err.Error()}
+			return
+		}
 		limits, _, status, err := s.frontierPlan(p)
 		if err != nil {
 			results[i].Error = itemError(status, err)

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/queueing"
 	"repro/internal/telemetry"
 )
 
@@ -368,7 +369,7 @@ func TestScalarBatchCoalescing(t *testing.T) {
 	// Install a gated leader under the exact flight key both the scalar
 	// parse path and the batch expansion produce for (d=1, u=0.7, p
 	// default). The sentinel mean is impossible for a real computation.
-	key := pctFlightKey("", "", 1, 0.7, []float64{50, 95, 99})
+	key := pctFlightKey("", "", 1, 0.7, []float64{50, 95, 99}, queueing.DefaultSpec())
 	gate := make(chan struct{})
 	leaderDone := make(chan struct{})
 	go func() {

@@ -118,11 +118,18 @@ type PercentilesResponse struct {
 	// raw service-time mode.
 	Workload string `json:"workload,omitempty"`
 	Mix      string `json:"mix,omitempty"`
+	// Kernel names the queueing kernel when a non-default one was
+	// selected ("mg1", "mmk"); absent for the M/D/1 default, so default
+	// responses are byte-identical to the pre-kernel API. SCV and Servers
+	// echo the kernel's shape parameter when set.
+	Kernel  string  `json:"kernel,omitempty"`
+	SCV     float64 `json:"scv,omitempty"`
+	Servers int     `json:"servers,omitempty"`
 	// Utilization is the server utilization rho the queue was built for.
 	Utilization float64 `json:"utilization"`
-	// ServiceTimeSeconds is the M/D/1 deterministic service time: the
-	// model's job execution time T_P in model mode, the d parameter in
-	// raw mode.
+	// ServiceTimeSeconds is the aggregate service time: the model's job
+	// execution time T_P in model mode, the d parameter in raw mode. For
+	// the M/D/1 default it is the deterministic service time.
 	ServiceTimeSeconds float64 `json:"service_time_seconds"`
 	// ArrivalRatePerSecond is the Poisson arrival rate rho/D.
 	ArrivalRatePerSecond float64 `json:"arrival_rate_per_second"`
@@ -134,13 +141,50 @@ type PercentilesResponse struct {
 	Percentiles []PercentilePoint `json:"percentiles"`
 }
 
+// kernelSpecFrom maps the request-level kernel selector fields onto a
+// validated queueing.Spec. The empty kernel name is the M/D/1 default,
+// keeping every pre-kernel request shape working unchanged.
+func kernelSpecFrom(kernel string, scv float64, servers int) (queueing.Spec, error) {
+	kind, err := queueing.ParseKind(kernel)
+	if err != nil {
+		return queueing.Spec{}, err
+	}
+	spec := queueing.Spec{Kind: kind, SCV: scv, Servers: servers}
+	if err := spec.Validate(); err != nil {
+		return queueing.Spec{}, err
+	}
+	return spec, nil
+}
+
+// parseKernelParams parses the kernel=/scv=/servers= GET query form of
+// kernelSpecFrom, writing the error response on failure.
+func parseKernelParams(w http.ResponseWriter, q url.Values) (queueing.Spec, bool) {
+	scv, ok := parseFloatParam(w, q.Get("scv"), "scv", false)
+	if !ok {
+		return queueing.Spec{}, false
+	}
+	servers, ok := parseIntParam(w, q.Get("servers"), "servers", 0)
+	if !ok {
+		return queueing.Spec{}, false
+	}
+	spec, err := kernelSpecFrom(q.Get("kernel"), scv, servers)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return queueing.Spec{}, false
+	}
+	return spec, true
+}
+
 // pctFlightKey is the singleflight key of one percentile evaluation:
 // scalar GET requests and every item of a POST batch build the same key
 // from the same canonical fields (workload, mix, service time, the
-// cache-quantized utilization, and the parsed percentile list), so a
-// scalar caller and a batched caller asking the same question coalesce
-// onto one computation.
-func pctFlightKey(wlName, mix string, serviceTime, u float64, ps []float64) string {
+// cache-quantized utilization, the kernel identity, and the parsed
+// percentile list), so a scalar caller and a batched caller asking the
+// same question coalesce onto one computation. The M/D/1 default omits
+// the kernel tag, keeping pre-kernel keys (and their coalescing
+// behavior) unchanged; any other kernel appends its CacheTag so two
+// kernels at the same load can never share a flight.
+func pctFlightKey(wlName, mix string, serviceTime, u float64, ps []float64, spec queueing.Spec) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "pct|%s|%s|%g|%g|", wlName, mix, serviceTime, queueing.QuantizedRho(u))
 	for i, p := range ps {
@@ -149,19 +193,28 @@ func pctFlightKey(wlName, mix string, serviceTime, u float64, ps []float64) stri
 		}
 		fmt.Fprintf(&b, "%g", p)
 	}
+	if !spec.IsDefault() {
+		b.WriteByte('|')
+		b.WriteString(spec.CacheTag())
+	}
 	return b.String()
 }
 
 // computePercentiles is the percentile evaluation core shared by the
-// scalar handler and the batch per-item path: build the M/D/1 queue at
-// (u, serviceTime), run the batched percentile solve under ctx, and
-// materialize the response.
-func computePercentiles(ctx context.Context, wlName, mix string, serviceTime, u float64, ps []float64) (*PercentilesResponse, error) {
-	queue, err := queueing.NewMD1FromUtilization(u, serviceTime)
+// scalar handler and the batch per-item path: build the selected kernel
+// at (u, serviceTime), run the batched percentile solves under ctx, and
+// materialize the response. With the default spec the output is
+// byte-identical to the pre-kernel M/D/1 path.
+func computePercentiles(ctx context.Context, wlName, mix string, serviceTime, u float64, ps []float64, spec queueing.Spec) (*PercentilesResponse, error) {
+	queue, err := spec.Build(u, serviceTime)
 	if err != nil {
 		return nil, err
 	}
 	waits, err := queue.WaitPercentilesContext(ctx, ps)
+	if err != nil {
+		return nil, err
+	}
+	responses, err := queue.ResponsePercentilesContext(ctx, ps)
 	if err != nil {
 		return nil, err
 	}
@@ -170,16 +223,21 @@ func computePercentiles(ctx context.Context, wlName, mix string, serviceTime, u 
 		Mix:                  mix,
 		Utilization:          u,
 		ServiceTimeSeconds:   serviceTime,
-		ArrivalRatePerSecond: queue.Lambda,
+		ArrivalRatePerSecond: u / serviceTime,
 		MeanWaitSeconds:      queue.MeanWait(),
 		MeanResponseSeconds:  queue.MeanResponse(),
 		Percentiles:          make([]PercentilePoint, len(ps)),
+	}
+	if !spec.IsDefault() {
+		resp.Kernel = spec.Kind.String()
+		resp.SCV = spec.SCV
+		resp.Servers = spec.Servers
 	}
 	for i, p := range ps {
 		resp.Percentiles[i] = PercentilePoint{
 			P:               p,
 			WaitSeconds:     waits[i],
-			ResponseSeconds: waits[i] + serviceTime,
+			ResponseSeconds: responses[i],
 		}
 	}
 	return resp, nil
@@ -189,10 +247,10 @@ func computePercentiles(ctx context.Context, wlName, mix string, serviceTime, u 
 // group, attributing coalesced followers. Both the scalar handler and
 // every batch item enter here, so identical questions across transports
 // share one computation and one set of cache lookups.
-func (s *Server) percentilesShared(ctx context.Context, wlName, mix string, serviceTime, u float64, ps []float64) (*PercentilesResponse, error) {
-	key := pctFlightKey(wlName, mix, serviceTime, u, ps)
+func (s *Server) percentilesShared(ctx context.Context, wlName, mix string, serviceTime, u float64, ps []float64, spec queueing.Spec) (*PercentilesResponse, error) {
+	key := pctFlightKey(wlName, mix, serviceTime, u, ps, spec)
 	v, shared, err := s.flights.do(ctx, key, func() (any, error) {
-		return computePercentiles(ctx, wlName, mix, serviceTime, u, ps)
+		return computePercentiles(ctx, wlName, mix, serviceTime, u, ps, spec)
 	})
 	if shared {
 		s.ins.coalesced.Inc()
@@ -204,11 +262,13 @@ func (s *Server) percentilesShared(ctx context.Context, wlName, mix string, serv
 	return v.(*PercentilesResponse), nil
 }
 
-// handlePercentiles serves /v1/percentiles: exact M/D/1
-// waiting/response-time percentiles at a target utilization, for either
-// a (workload, mix) pair run through the time-energy model or a raw
-// service time d. GET answers one (configuration, utilization) pair;
-// POST takes a batch (see handlePercentilesBatch).
+// handlePercentiles serves /v1/percentiles: waiting/response-time
+// percentiles at a target utilization, for either a (workload, mix)
+// pair run through the time-energy model or a raw service time d. The
+// queueing kernel defaults to the exact M/D/1; kernel=mg1&scv= selects
+// the two-moment M/G/1 and kernel=mmk&servers= the Erlang-C M/M/k. GET
+// answers one (configuration, utilization) pair; POST takes a batch
+// (see handlePercentilesBatch).
 func (s *Server) handlePercentiles(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost {
 		s.handlePercentilesBatch(w, r)
@@ -228,6 +288,10 @@ func (s *Server) handlePercentiles(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ps, ok := parsePercentiles(w, q.Get("p"))
+	if !ok {
+		return
+	}
+	spec, ok := parseKernelParams(w, q)
 	if !ok {
 		return
 	}
@@ -267,7 +331,7 @@ func (s *Server) handlePercentiles(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	v, err := s.percentilesShared(r.Context(), wlName, mix, serviceTime, u, ps)
+	v, err := s.percentilesShared(r.Context(), wlName, mix, serviceTime, u, ps, spec)
 	if err != nil {
 		s.computeError(w, r, err)
 		return
@@ -401,6 +465,11 @@ type FrontierPoint struct {
 	PeakWatts float64 `json:"peak_watts"`
 	// MeanPowerWatts is the cluster-average power while executing.
 	MeanPowerWatts float64 `json:"mean_power_watts"`
+	// ResponseSeconds is the tail-latency annotation: the requested
+	// percentile of the response time at the requested utilization under
+	// the selected kernel. Present only when u= was given, so
+	// unannotated sweeps keep their pre-kernel bytes.
+	ResponseSeconds float64 `json:"response_seconds,omitempty"`
 }
 
 // FrontierResponse is the /v1/frontier response body.
@@ -434,6 +503,12 @@ type frontierParams struct {
 	powerW        float64
 	deadline      float64
 	energy        float64
+	// u > 0 enables the tail-latency annotation: every frontier point
+	// gains the pct-th percentile response time at utilization u under
+	// the spec kernel.
+	u    float64
+	pct  float64
+	spec queueing.Spec
 }
 
 // frontierQueryParams parses the GET query form of frontierParams,
@@ -465,6 +540,32 @@ func frontierQueryParams(w http.ResponseWriter, q url.Values) (frontierParams, b
 	}
 	if p.energy, ok = parseFloatParam(w, q.Get("energy"), "energy", false); !ok {
 		return p, false
+	}
+	if p.u, ok = parseFloatParam(w, q.Get("u"), "u", false); !ok {
+		return p, false
+	}
+	if p.u != 0 {
+		if p.u < 0 || p.u >= 1 {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("utilization u=%g outside (0, 1)", p.u))
+			return p, false
+		}
+		p.pct = 95
+		if raw := q.Get("p"); raw != "" {
+			pct, ok := parseFloatParam(w, raw, "p", false)
+			if !ok {
+				return p, false
+			}
+			if pct < 0 || pct >= 100 {
+				writeError(w, http.StatusBadRequest, "bad_request",
+					fmt.Sprintf("invalid percentile %g: want a number in [0, 100)", pct))
+				return p, false
+			}
+			p.pct = pct
+		}
+		if p.spec, ok = parseKernelParams(w, q); !ok {
+			return p, false
+		}
 	}
 	return p, true
 }
@@ -505,8 +606,13 @@ func (s *Server) frontierPlan(p frontierParams) (limits []cluster.Limit, space, 
 func (s *Server) frontierShared(ctx context.Context, p frontierParams, limits []cluster.Limit) (*FrontierResponse, error) {
 	key := fmt.Sprintf("frontier|%s|%d|%d|%t|%g|%g|%g",
 		p.workload, p.maxA9, p.maxK10, p.dvfs, p.powerW, p.deadline, p.energy)
+	if p.u > 0 {
+		// Annotated sweeps key on the annotation point and kernel too, so
+		// they never coalesce with (or poison) an unannotated sweep.
+		key += fmt.Sprintf("|lat|%g|%g|%s", queueing.QuantizedRho(p.u), p.pct, p.spec.CacheTag())
+	}
 	v, shared, err := s.flights.do(ctx, key, func() (any, error) {
-		return s.sweepFrontier(ctx, p.workload, limits, p.powerW, p.deadline, p.energy)
+		return s.sweepFrontier(ctx, p, limits)
 	})
 	if shared {
 		s.ins.coalesced.Inc()
@@ -553,9 +659,12 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 }
 
 // sweepFrontier enumerates the space, prunes by peak-power budget,
-// evaluates the survivors across the sweep pool under ctx, and folds
-// the results into the frontier and sweet region.
-func (s *Server) sweepFrontier(ctx context.Context, wlName string, limits []cluster.Limit, powerW, deadline, energy float64) (*FrontierResponse, error) {
+// evaluates the survivors across the sweep pool under ctx, folds the
+// results into the frontier and sweet region, and — when the params ask
+// for it — annotates every frontier point with its tail latency under
+// the selected kernel.
+func (s *Server) sweepFrontier(ctx context.Context, fp frontierParams, limits []cluster.Limit) (*FrontierResponse, error) {
+	wlName, powerW, deadline, energy := fp.workload, fp.powerW, fp.deadline, fp.energy
 	// On the singleflight leader's request the sweep is attributed to its
 	// RequestContext (followers only record coalesced=1); nil-safe
 	// no-ops otherwise.
@@ -623,9 +732,26 @@ func (s *Server) sweepFrontier(ctx context.Context, wlName string, limits []clus
 			frontier[i].Result = res
 		}
 	}
+	// Tail-latency annotation: one response-percentile solve per frontier
+	// point (not per explored configuration — the frontier is small), all
+	// through the shared kernel percentile cache. latFor carries the
+	// figure onto the sweet-region and recommended copies of a point.
+	var lat []float64
+	if fp.u > 0 {
+		var err error
+		lat, err = pareto.AnnotateLatencies(ctx, frontier, fp.u, fp.pct, fp.spec, s.cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("serve: frontier latency annotation: %w", err)
+		}
+	}
+	latFor := make(map[string]float64, len(lat))
 	resp.Frontier = make([]FrontierPoint, len(frontier))
 	for i, p := range frontier {
 		resp.Frontier[i] = frontierPoint(p)
+		if lat != nil {
+			resp.Frontier[i].ResponseSeconds = lat[i]
+			latFor[resp.Frontier[i].Mix] = lat[i]
+		}
 	}
 
 	if deadline > 0 || energy > 0 {
@@ -634,6 +760,7 @@ func (s *Server) sweepFrontier(ctx context.Context, wlName string, limits []clus
 		best := -1
 		for i, p := range sweet {
 			resp.SweetRegion[i] = frontierPoint(p)
+			resp.SweetRegion[i].ResponseSeconds = latFor[resp.SweetRegion[i].Mix]
 			if best < 0 || p.Energy < sweet[best].Energy {
 				best = i
 			}
@@ -644,6 +771,7 @@ func (s *Server) sweepFrontier(ctx context.Context, wlName string, limits []clus
 		}
 	} else if p, ok := pareto.MinEDP(frontier); ok {
 		rec := frontierPoint(p)
+		rec.ResponseSeconds = latFor[rec.Mix]
 		resp.Recommended = &rec
 	}
 	return resp, nil
