@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race vet staticcheck check ci serve-smoke fleet-smoke logs-demo bench bench-queueing bench-frontier bench-serve bench-serve-smoke reproduce examples fuzz fuzz-smoke golden clean
+.PHONY: all build test test-race race vet staticcheck check ci serve-smoke fleet-smoke logs-demo bench bench-queueing bench-frontier bench-frontier-smoke bench-serve bench-serve-smoke reproduce examples fuzz fuzz-smoke golden clean
 
 all: build vet test
 
@@ -89,6 +89,7 @@ ci:
 	$(GO) test -race ./internal/queueing/ ./internal/serve/ ./internal/replay/
 	$(GO) test -run TestTableDifferentialPaperSpace ./internal/model/
 	$(GO) test -race -short -run 'TestFastSweep|TestFrontier' ./internal/pareto/
+	$(MAKE) bench-frontier-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) fleet-smoke
 	$(MAKE) bench-serve-smoke
@@ -120,6 +121,15 @@ bench-frontier:
 		-benchmem -run '^$$' ./internal/pareto/ | tee bench_frontier.out
 	$(GO) run ./internal/tools/benchfrontier bench_frontier.out > BENCH_frontier.json
 	@echo wrote BENCH_frontier.json
+
+# bench-frontier-smoke is the CI variant: one iteration each of the
+# sweep benchmarks (serial, warm-table, and the parallel worker ladder)
+# piped through the benchfrontier distiller — proves the measurement
+# harness and the parallel engine end to end without committing numbers.
+bench-frontier-smoke:
+	$(GO) test -bench 'BenchmarkFrontierSweep' -benchmem -benchtime=1x \
+		-run '^$$' ./internal/pareto/ | $(GO) run ./internal/tools/benchfrontier > /dev/null
+	@echo bench-frontier smoke ok
 
 # Serving-capacity benchmark: boots epserve in-process and binary-
 # searches the max sustained open-loop arrival rate at the p99 SLO for

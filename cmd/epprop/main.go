@@ -20,7 +20,6 @@ import (
 	"repro/internal/pareto"
 	"repro/internal/report"
 	"repro/internal/stats"
-	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -106,7 +105,7 @@ func run(wlName, mix, refMix string, pct float64, plot, frontier bool, nodesPath
 	}
 
 	if frontier {
-		if err := placeOnFrontier(cfg, wl); err != nil {
+		if err := placeOnFrontier(cfg, wl, workers); err != nil {
 			return err
 		}
 	}
@@ -141,27 +140,21 @@ func run(wlName, mix, refMix string, pct float64, plot, frontier bool, nodesPath
 // types (up to the mix's node counts, cores and DVFS free) with the
 // memoized engine and reports where the mix sits relative to the
 // time-energy Pareto frontier of that space.
-func placeOnFrontier(cfg cluster.Config, wl *workload.Profile) error {
+func placeOnFrontier(cfg cluster.Config, wl *workload.Profile, workers int) error {
 	limits := make([]cluster.Limit, 0, len(cfg.Groups))
 	for _, g := range cfg.Groups {
 		limits = append(limits, cluster.Limit{Type: g.Type, MaxNodes: g.Count})
 	}
 	total := cluster.SpaceSize(limits)
 
-	reg := telemetry.Global()
-	if reg == nil {
-		reg = telemetry.New()
-		telemetry.SetGlobal(reg)
-		defer telemetry.SetGlobal(nil)
-	}
-	evalC, pruneC := reg.Counter("pareto.configs_evaluated"), reg.Counter("pareto.configs_pruned")
-	evalBefore, pruneBefore := evalC.Value(), pruneC.Value()
-	front, err := pareto.FrontierSweep(limits, wl, model.Options{}, pareto.SweepOptions{})
+	var st pareto.SweepStats
+	front, err := pareto.FrontierSweep(limits, wl, model.Options{},
+		pareto.SweepOptions{Workers: workers, Stats: &st})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nfrontier of the %s design space (%d configurations, %d evaluated, %d pruned): %d points\n",
-		cfg, total, evalC.Value()-evalBefore, pruneC.Value()-pruneBefore, len(front))
+		cfg, total, st.Evaluated, st.Pruned, len(front))
 
 	own, err := model.Evaluate(cfg, wl, model.Options{})
 	if err != nil {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -247,5 +248,45 @@ func TestEnumerateAllInvalidLimits(t *testing.T) {
 	}
 	if err := ValidateLimits([]Limit{{Type: nil}}); err == nil {
 		t.Fatal("ValidateLimits accepted nil type")
+	}
+}
+
+// TestOperatingPoints: the per-unit operating points are exactly the
+// distinct (cores, freq) pairs of the limit — the count-independent
+// set the model table memoizes on — with count pinned to one node.
+func TestOperatingPoints(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	a9, err := cat.Lookup("A9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Limit{Type: a9, MaxNodes: 7}
+	ops := l.OperatingPoints()
+	choices := l.Choices()
+	if len(ops)*l.MaxNodes != len(choices) {
+		t.Fatalf("%d operating points x %d nodes != %d choices", len(ops), l.MaxNodes, len(choices))
+	}
+	seen := make(map[string]bool, len(ops))
+	for _, g := range ops {
+		if g.Count != 1 {
+			t.Fatalf("operating point %v has count %d, want 1", g, g.Count)
+		}
+		key := fmt.Sprintf("%d@%v", g.Cores, g.Freq)
+		if seen[key] {
+			t.Fatalf("duplicate operating point %s", key)
+		}
+		seen[key] = true
+	}
+	for _, g := range choices {
+		if !seen[fmt.Sprintf("%d@%v", g.Cores, g.Freq)] {
+			t.Fatalf("choice %v has no operating point", g)
+		}
+	}
+	if got := (Limit{Type: a9, MaxNodes: 0}).OperatingPoints(); got != nil {
+		t.Fatalf("MaxNodes=0 returned %d operating points", len(got))
+	}
+	fixed := Limit{Type: a9, MaxNodes: 3, FixCoresAndFreq: true}
+	if got := fixed.OperatingPoints(); len(got) != 1 {
+		t.Fatalf("FixCoresAndFreq limit has %d operating points, want 1", len(got))
 	}
 }

@@ -54,6 +54,26 @@ func (l Limit) freqs() []units.Hertz {
 // re-deriving the per-type space.
 func (l Limit) Choices() []Group { return l.perTypeChoices() }
 
+// OperatingPoints returns one single-node Group per distinct
+// (cores, freq) pair of the type — the set of per-unit operating points
+// the limit can reach, independent of node count. The memoized model
+// table is keyed on exactly these, so pre-warming iterates
+// OperatingPoints rather than the count-expanded Choices.
+func (l Limit) OperatingPoints() []Group {
+	if l.MaxNodes <= 0 {
+		return nil
+	}
+	cores := l.cores()
+	freqs := l.freqs()
+	out := make([]Group, 0, len(cores)*len(freqs))
+	for _, c := range cores {
+		for _, f := range freqs {
+			out = append(out, Group{Type: l.Type, Count: 1, Cores: c, Freq: f})
+		}
+	}
+	return out
+}
+
 // perTypeChoices returns every (count, cores, freq) choice for one type
 // with count >= 1.
 func (l Limit) perTypeChoices() []Group {

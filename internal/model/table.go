@@ -96,6 +96,63 @@ func NewTable(wl *workload.Profile, opt Options) *Table {
 // bounds need it).
 func (t *Table) JobUnits() float64 { return t.jobUnits }
 
+// Matches reports whether the table was built for exactly this
+// (workload, options) pair — the precondition for reusing a
+// caller-owned table across sweeps (pareto.SweepOptions.Table).
+// Profile identity is by pointer: a table memoizes demand-vector
+// derived quantities, so "same name" is not enough.
+func (t *Table) Matches(wl *workload.Profile, opt Options) bool {
+	return t.wl == wl && t.opt == opt
+}
+
+// Snapshot is an immutable, lock-free view of a Table's unit-calc memo.
+// It is created after pre-warming every operating point a sweep can
+// touch, so readers never hit the Table's RWMutex: the map is copied
+// once under the lock and never mutated again, and the goroutine
+// creating the snapshot happens-before every worker that reads it
+// (workers are started after the snapshot exists). The parallel
+// frontier engine shares one Snapshot across all of its workers.
+type Snapshot struct {
+	jobUnits float64
+	calcs    map[tableKey]*UnitCalc
+}
+
+// Snapshot pre-warms the table with every (type, cores, freq) operating
+// point reachable under limits and returns the immutable view. Node
+// counts never participate in the memo key, so warming iterates each
+// type's distinct (cores, freq) pairs, not the full choice space.
+func (t *Table) Snapshot(limits []cluster.Limit) *Snapshot {
+	for _, l := range limits {
+		for _, g := range l.OperatingPoints() {
+			t.Calc(g)
+		}
+	}
+	t.mu.RLock()
+	calcs := make(map[tableKey]*UnitCalc, len(t.calcs))
+	for k, v := range t.calcs {
+		calcs[k] = v
+	}
+	t.mu.RUnlock()
+	return &Snapshot{jobUnits: t.jobUnits, calcs: calcs}
+}
+
+// JobUnits returns the workload's job size.
+func (s *Snapshot) JobUnits() float64 { return s.jobUnits }
+
+// Calc returns the memoized UnitCalc for the group's operating point
+// without taking any lock, and ok=false when the point was not warmed
+// into the snapshot.
+func (s *Snapshot) Calc(g cluster.Group) (*UnitCalc, bool) {
+	uc, ok := s.calcs[tableKey{t: g.Type, cores: g.Cores, freq: g.Freq}]
+	return uc, ok
+}
+
+// EvaluateCalcs is Table.EvaluateCalcs on the snapshot: identical
+// scalars, no shared mutable state.
+func (s *Snapshot) EvaluateCalcs(gcs []GroupCalc) (FastResult, bool) {
+	return evaluateCalcs(s.jobUnits, gcs)
+}
+
 // Calc returns the memoized UnitCalc for the group's operating point,
 // computing it on first use. The group must be valid (enumeration
 // pre-validates limits); only (Type, Cores, Freq) participate in the

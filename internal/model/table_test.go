@@ -221,3 +221,59 @@ func TestEvaluateFastZeroAllocs(t *testing.T) {
 		t.Errorf("suspicious result %+v", sink)
 	}
 }
+
+// TestTableSnapshotAndMatches: the snapshot covers every choice of the
+// limits it was warmed with, returns pointer-identical UnitCalcs and
+// bitwise-identical evaluation results without touching the table's
+// lock, and Matches enforces the (profile pointer, options) identity
+// the shared-table sweep option relies on.
+func TestTableSnapshotAndMatches(t *testing.T) {
+	limits, reg := footnote4Limits(t)
+	wl, err := reg.Lookup(workload.NameEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := NewTable(wl, Options{})
+	snap := table.Snapshot(limits)
+
+	if snap.JobUnits() != table.JobUnits() {
+		t.Fatalf("snapshot JobUnits %g != table %g", snap.JobUnits(), table.JobUnits())
+	}
+	for _, l := range limits {
+		for _, g := range l.Choices() {
+			uc, ok := snap.Calc(g)
+			if !ok {
+				t.Fatalf("snapshot missing calc for %v", g)
+			}
+			if uc != table.Calc(g) {
+				t.Fatalf("snapshot calc for %v is not the table's instance", g)
+			}
+			fast, ok := table.EvaluateFast(cluster.Config{Groups: []cluster.Group{g}})
+			if !ok {
+				continue
+			}
+			sf, ok := snap.EvaluateCalcs([]GroupCalc{{Calc: uc, Count: g.Count}})
+			if !ok {
+				t.Fatalf("snapshot evaluation failed for %v", g)
+			}
+			if math.Float64bits(float64(sf.Time)) != math.Float64bits(float64(fast.Time)) ||
+				math.Float64bits(float64(sf.Energy)) != math.Float64bits(float64(fast.Energy)) {
+				t.Fatalf("snapshot evaluation of %v differs bitwise from the table's", g)
+			}
+		}
+	}
+
+	if !table.Matches(wl, Options{}) {
+		t.Fatal("Matches rejected the table's own (workload, options)")
+	}
+	if table.Matches(wl, Options{MemFrequencyInvariant: true}) {
+		t.Fatal("Matches accepted different options")
+	}
+	other, err := reg.Lookup(workload.NameX264)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Matches(other, Options{}) {
+		t.Fatal("Matches accepted a different workload profile")
+	}
+}

@@ -1,6 +1,9 @@
 package pareto
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/cluster"
@@ -9,32 +12,70 @@ import (
 	"repro/internal/workload"
 )
 
+// benchWorkerLadder is 1/2/4/GOMAXPROCS with duplicates removed, so the
+// ladder stays meaningful on small boxes (on a 1-core machine it is
+// just [1]).
+func benchWorkerLadder() []int {
+	ladder := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	out := ladder[:0]
+	seen := make(map[int]bool, len(ladder))
+	for _, w := range ladder {
+		if w > 0 && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func benchWorkerName(workers int) string {
+	return fmt.Sprintf("workers=%d", workers)
+}
+
 // paperBenchSpace returns the paper's footnote-4 design space (36,380
 // configurations: 10 A9 and 10 K10 nodes with free cores and DVFS) and
 // the EP workload — the benchmark substrate for `make bench-frontier`.
+// The space is memoized so every benchmark sees the same *Profile and
+// warm tables built for it stay valid across benchSweep calls.
+var benchSpaceOnce sync.Once
+var benchSpaceLimits []cluster.Limit
+var benchSpaceWL *workload.Profile
+var benchSpaceErr error
+
 func paperBenchSpace(tb testing.TB) ([]cluster.Limit, *workload.Profile) {
 	tb.Helper()
-	cat := hardware.DefaultCatalog()
-	reg, err := workload.PaperRegistry(cat)
-	if err != nil {
-		tb.Fatal(err)
+	benchSpaceOnce.Do(func() {
+		cat := hardware.DefaultCatalog()
+		reg, err := workload.PaperRegistry(cat)
+		if err != nil {
+			benchSpaceErr = err
+			return
+		}
+		wl, err := reg.Lookup(workload.NameEP)
+		if err != nil {
+			benchSpaceErr = err
+			return
+		}
+		a9, err := cat.Lookup("A9")
+		if err != nil {
+			benchSpaceErr = err
+			return
+		}
+		k10, err := cat.Lookup("K10")
+		if err != nil {
+			benchSpaceErr = err
+			return
+		}
+		benchSpaceLimits = []cluster.Limit{
+			{Type: a9, MaxNodes: 10},
+			{Type: k10, MaxNodes: 10},
+		}
+		benchSpaceWL = wl
+	})
+	if benchSpaceErr != nil {
+		tb.Fatal(benchSpaceErr)
 	}
-	wl, err := reg.Lookup(workload.NameEP)
-	if err != nil {
-		tb.Fatal(err)
-	}
-	a9, err := cat.Lookup("A9")
-	if err != nil {
-		tb.Fatal(err)
-	}
-	k10, err := cat.Lookup("K10")
-	if err != nil {
-		tb.Fatal(err)
-	}
-	return []cluster.Limit{
-		{Type: a9, MaxNodes: 10},
-		{Type: k10, MaxNodes: 10},
-	}, wl
+	return benchSpaceLimits, benchSpaceWL
 }
 
 func benchSweep(b *testing.B, sw SweepOptions) {
@@ -57,15 +98,39 @@ func benchSweep(b *testing.B, sw SweepOptions) {
 	}
 }
 
-// BenchmarkFrontierSweepFast is the headline number: the memoized
-// closed-form engine with subtree pruning over the footnote-4 space.
+// BenchmarkFrontierSweepFast is the serial headline number: the
+// memoized closed-form engine with subtree pruning over the footnote-4
+// space on a single worker (Workers zero now means GOMAXPROCS, so the
+// serial baseline must be pinned explicitly).
 func BenchmarkFrontierSweepFast(b *testing.B) {
-	benchSweep(b, SweepOptions{})
+	benchSweep(b, SweepOptions{Workers: 1})
+}
+
+// BenchmarkFrontierSweepFastWarm is the steady-state number: serial
+// sweep with a caller-provided warm table, so the memo is already
+// populated and the scratch pool is hot — the configuration the
+// allocation guard pins.
+func BenchmarkFrontierSweepFastWarm(b *testing.B) {
+	_, wl := paperBenchSpace(b)
+	benchSweep(b, SweepOptions{Workers: 1, Table: model.NewTable(wl, model.Options{})})
+}
+
+// BenchmarkFrontierSweepParallel sweeps the worker ladder over a shared
+// warm table; on a multi-core box the configs/s metric should scale
+// with the worker count until the 1+choices(A9) top-level tasks run out.
+func BenchmarkFrontierSweepParallel(b *testing.B) {
+	_, wl := paperBenchSpace(b)
+	table := model.NewTable(wl, model.Options{})
+	for _, workers := range benchWorkerLadder() {
+		b.Run(benchWorkerName(workers), func(b *testing.B) {
+			benchSweep(b, SweepOptions{Workers: workers, Table: table})
+		})
+	}
 }
 
 // BenchmarkFrontierSweepFastNoPrune isolates the pruning contribution.
 func BenchmarkFrontierSweepFastNoPrune(b *testing.B) {
-	benchSweep(b, SweepOptions{NoPrune: true})
+	benchSweep(b, SweepOptions{Workers: 1, NoPrune: true})
 }
 
 // BenchmarkFrontierSweepReference is the preserved pre-memoization
@@ -109,6 +174,32 @@ func BenchmarkEvaluateReference(b *testing.B) {
 		if _, err := model.Evaluate(cfg, wl, model.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestFrontierSweepFastAllocs pins the steady-state allocation budget
+// of the fast sweep: with a warm shared table and a hot scratch pool,
+// a full footnote-4 sweep (36,380 configurations) must stay within a
+// small fixed number of allocations — the survivor materialization,
+// the table snapshot maps, and telemetry scaffolding. The old engine
+// cost ~4,300 allocs per sweep; a regression back to per-configuration
+// allocation would blow through this bound by orders of magnitude.
+func TestFrontierSweepFastAllocs(t *testing.T) {
+	limits, wl := paperBenchSpace(t)
+	table := model.NewTable(wl, model.Options{})
+	sweep := func() {
+		front, err := FrontierSweep(limits, wl, model.Options{},
+			SweepOptions{Workers: 1, Table: table})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(front) == 0 {
+			t.Fatal("empty frontier")
+		}
+	}
+	sweep() // warm the memo table and the scratch pool
+	if allocs := testing.AllocsPerRun(10, sweep); allocs > 200 {
+		t.Errorf("fast sweep allocates %.0f objects/op warm, want <= 200 (~87 expected)", allocs)
 	}
 }
 

@@ -1,12 +1,18 @@
 package pareto
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/model"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -17,30 +23,55 @@ import (
 //
 //  1. memoizes a model.UnitCalc per distinct (type, cores, freq)
 //     operating point (tens of entries for tens of thousands of
-//     configurations),
-//  2. evaluates each configuration allocation-free through
+//     configurations), snapshotted once into an immutable, lock-free
+//     view every worker shares,
+//  2. flattens the per-type choice space into columnar (structure-of-
+//     arrays) slices — count, node rate, energy-per-unit, support bit,
+//     unit-calc pointer — so the inner DFS loop walks cache-linear
+//     arrays instead of chasing per-choice structs,
+//  3. evaluates each configuration allocation-free through
 //     model.EvaluateCalcs, whose scalars are bitwise-identical to
 //     model.Evaluate (same expression shapes and accumulation order),
-//  3. prunes whole enumeration subtrees with monotone lower bounds:
+//  4. prunes whole enumeration subtrees with monotone lower bounds:
 //     fixing a prefix of per-type choices bounds the best reachable
 //     time by JobUnits/(rate_prefix + max remaining rate) and the best
 //     reachable energy by JobUnits * min EnergyPerUnit — if a running
 //     frontier point is at least as good on both axes, no completion
 //     of the prefix can ever be accepted by Frontier, so the subtree
-//     is skipped without evaluation (counted in pareto.configs_pruned).
+//     is skipped without evaluation (counted in pareto.configs_pruned),
+//  5. partitions the DFS at the top of the choice tree — one task per
+//     first-type decision (skip, or one of its (count, cores, freq)
+//     choices), largest-remainder balanced into one contiguous chunk
+//     per worker — and runs a private engine per chunk on the shared
+//     internal/sweep pool.
 //
-// Exactness argument. The final frontier is computed by one Frontier
-// call over the surviving points. A point is dropped early only when
-// some retained point q has q.Time <= p.Time and q.Energy <= p.Energy
-// (admission), or when the subtree bounds guarantee such a q exists
-// for every completion (pruning, with a relative slack covering the
-// model's floating-point rounding). In Frontier's scan, acceptance of
-// p would require p.Energy < bestEnergy*(1-1e-9) <= q.Energy — a
-// contradiction — and rejected points never mutate the scan state
-// (bestEnergy, lastTime), so removing them leaves the output
-// unchanged: the result equals Frontier over every evaluated point,
-// which (by bitwise-equal scalars) equals the reference path's
-// frontier point for point.
+// Exactness argument, serial. The final frontier is computed by one
+// Frontier-equivalent fold over the surviving points. A point is
+// dropped early only when some retained point q has q.Time <= p.Time
+// and q.Energy <= p.Energy (admission), or when the subtree bounds
+// guarantee such a q exists for every completion (pruning, with a
+// relative slack covering the model's floating-point rounding). In
+// Frontier's scan, acceptance of p would require
+// p.Energy < bestEnergy*(1-1e-9) <= q.Energy — a contradiction — and
+// rejected points never mutate the scan state (bestEnergy, lastTime),
+// so removing them leaves the output unchanged: the result equals
+// Frontier over every evaluated point, which (by bitwise-equal
+// scalars) equals the reference path's frontier point for point.
+//
+// Exactness argument, parallel. Each chunk's engine sees only its own
+// running frontier, which is a subset of what the serial engine would
+// have accumulated at the same leaf — so pruning and early drops can
+// only become *weaker*: every point the serial engine retains is
+// retained by some chunk, and any extra points a chunk retains are
+// dominated or duplicate, which the final fold removes by the serial
+// argument above. Concatenating the per-chunk survivors in chunk order
+// preserves global enumeration order (chunks are contiguous task
+// ranges of the top-level loop), so the fold's stable sort breaks ties
+// exactly as the serial sweep does ("first representative" is the same
+// point). The output is therefore bitwise-identical for every worker
+// count, including 1 — only the pruned/evaluated split in the
+// accounting may shift between worker counts (their sum is invariant:
+// evaluated + skipped + filtered + pruned == SpaceSize).
 
 // boundSlack is the relative safety margin applied to the pruning
 // lower bounds. The bounds are exact in real arithmetic; the evaluated
@@ -53,46 +84,171 @@ const boundSlack = 1e-9
 // running frontier is re-compacted.
 const fastFoldChunk = 2048
 
-// curSel is the DFS's current choice for one type; on=false means the
-// type is skipped at this point of the walk.
-type curSel struct {
-	on bool
-	g  cluster.Group
-	uc *model.UnitCalc
+// cancelCheckEvery is how many accounted configurations pass between
+// polls of the cancellation channel: a channel select per
+// configuration would cost more than the evaluation itself.
+const cancelCheckEvery = 8192
+
+// grow returns s resized to n elements, reusing its backing array when
+// capacity allows. Contents are unspecified; callers overwrite.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
-type fastEngine struct {
-	table    *model.Table
+// spaceSoA is the columnar (structure-of-arrays) form of the
+// configuration space: every per-type choice flattened into parallel
+// slices, segmented by typeOff. It is built once per sweep by the
+// coordinator and then shared read-only by every worker — together
+// with the model.Snapshot it embeds, it is the immutable view that
+// keeps the hot path free of the table's RWMutex.
+type spaceSoA struct {
+	snap     *model.Snapshot
 	jobUnits float64
-	limits   []cluster.Limit
-	filter   func(cluster.Config) bool
-	noPrune  bool
-	pr       *telemetry.Progress
+	nTypes   int
 
-	choices [][]cluster.Group
-	calcs   [][]*model.UnitCalc
-	// byRank walks limit indices in node-type-name order — the
-	// canonical cluster.NewConfig group order the bitwise-exact
-	// evaluator requires.
-	byRank []int
-	cur    []curSel
-	gcsBuf []model.GroupCalc
+	// byRank walks type indices in node-type-name order — the canonical
+	// cluster.NewConfig group order the bitwise-exact evaluator
+	// requires.
+	byRank []int32
+	// typeOff[i]..typeOff[i+1] is type i's segment of the columns.
+	typeOff []int32
+	count   []int32
+	rate    []float64 // NodeRate * Count, the choice's rate contribution
+	epu     []float64 // busy energy-per-unit; +Inf when unsupported
+	sup     []bool
+	calcs   []*model.UnitCalc
+	// groups keeps the AoS form for Config materialization and Filter.
+	groups []cluster.Group
 
 	// maxRateSuffix[i] bounds the execution rate types i.. can add;
 	// minEPUSuffix[i] is the lowest busy energy-per-unit any of their
 	// choices offers; suffixSpace[i] counts the completions of a
-	// non-empty prefix (product of 1+len(choices) over types i..).
+	// non-empty prefix (product of 1+segment length over types i..).
 	maxRateSuffix []float64
 	minEPUSuffix  []float64
 	suffixSpace   []int64
+}
+
+func (sp *spaceSoA) build(limits []cluster.Limit, table *model.Table) {
+	n := len(limits)
+	sp.nTypes = n
+	sp.snap = table.Snapshot(limits)
+	sp.jobUnits = sp.snap.JobUnits()
+
+	sp.typeOff = grow(sp.typeOff, n+1)
+	sp.count = sp.count[:0]
+	sp.rate = sp.rate[:0]
+	sp.epu = sp.epu[:0]
+	sp.sup = sp.sup[:0]
+	sp.calcs = sp.calcs[:0]
+	sp.groups = sp.groups[:0]
+	for i, l := range limits {
+		sp.typeOff[i] = int32(len(sp.groups))
+		for _, g := range l.Choices() {
+			uc, ok := sp.snap.Calc(g)
+			if !ok {
+				// Snapshot pre-warmed every operating point of limits;
+				// Choices only expands node counts over the same points.
+				panic("pareto: choice missing from table snapshot")
+			}
+			sp.groups = append(sp.groups, g)
+			sp.calcs = append(sp.calcs, uc)
+			sp.count = append(sp.count, int32(g.Count))
+			// Same expression as the reference prefix accumulation, so
+			// the precomputed column is bitwise-identical to computing
+			// it at the tree node.
+			sp.rate = append(sp.rate, uc.NodeRate*float64(g.Count))
+			sp.sup = append(sp.sup, uc.Supported)
+			if uc.Supported {
+				sp.epu = append(sp.epu, uc.EnergyPerUnit)
+			} else {
+				// +Inf keeps the min-EPU update branch-free: an
+				// unsupported choice can never lower the bound.
+				sp.epu = append(sp.epu, math.Inf(1))
+			}
+		}
+	}
+	sp.typeOff[n] = int32(len(sp.groups))
+
+	sp.byRank = grow(sp.byRank, n)
+	for i := range sp.byRank {
+		sp.byRank[i] = int32(i)
+	}
+	sort.SliceStable(sp.byRank, func(a, b int) bool {
+		return limits[sp.byRank[a]].Type.Name < limits[sp.byRank[b]].Type.Name
+	})
+
+	sp.maxRateSuffix = grow(sp.maxRateSuffix, n+1)
+	sp.minEPUSuffix = grow(sp.minEPUSuffix, n+1)
+	sp.suffixSpace = grow(sp.suffixSpace, n+1)
+	sp.maxRateSuffix[n] = 0
+	sp.minEPUSuffix[n] = math.Inf(1)
+	sp.suffixSpace[n] = 1
+	for i := n - 1; i >= 0; i-- {
+		maxRate := 0.0
+		minEPU := math.Inf(1)
+		for j := sp.typeOff[i]; j < sp.typeOff[i+1]; j++ {
+			if !sp.sup[j] {
+				continue
+			}
+			if r := sp.rate[j]; r > maxRate {
+				maxRate = r
+			}
+			if e := sp.epu[j]; e < minEPU {
+				minEPU = e
+			}
+		}
+		sp.maxRateSuffix[i] = sp.maxRateSuffix[i+1] + maxRate
+		sp.minEPUSuffix[i] = sp.minEPUSuffix[i+1]
+		if minEPU < sp.minEPUSuffix[i] {
+			sp.minEPUSuffix[i] = minEPU
+		}
+		sp.suffixSpace[i] = sp.suffixSpace[i+1] * int64(1+int(sp.typeOff[i+1]-sp.typeOff[i]))
+	}
+}
+
+// fastPoint is a survivor before materialization: coordinates plus an
+// index into the engine's flat selection buffer. Configs and Results
+// are built only for the final frontier points, never per survivor.
+type fastPoint struct {
+	t   units.Seconds
+	e   units.Joules
+	sel int32
+}
+
+// fastEngine walks one contiguous range of top-level tasks. Every
+// worker owns a private engine; the only shared state is the read-only
+// spaceSoA (and the atomic Progress reporter).
+type fastEngine struct {
+	sp      *spaceSoA
+	filter  func(cluster.Config) bool
+	noPrune bool
+	pr      *telemetry.Progress
+
+	// cancel is the sweep context's Done channel (nil when the sweep is
+	// not cancellable); stop latches once it fires.
+	cancel     <-chan struct{}
+	stop       bool
+	sinceCheck int64
+
+	// sel[i] is the DFS's current column index for type i; -1 = skip.
+	sel    []int32
+	gcsBuf []model.GroupCalc
 
 	// Running frontier: survivors in enumeration order, the pending
-	// batch, and the compacted (time ascending, energy descending)
+	// batch, the flat selection blocks (stride nTypes) the survivors
+	// reference, and the compacted (time ascending, energy descending)
 	// coordinate arrays used for domination tests.
-	survivors []Point
-	batch     []Point
+	survivors []fastPoint
+	batch     []fastPoint
+	sels      []int32
 	runT      []float64
 	runE      []float64
+	foldIdx   []int32
+	foldKeep  []bool
 
 	nEvaluated int64
 	nSkipped   int64
@@ -100,62 +256,54 @@ type fastEngine struct {
 	nPruned    int64
 }
 
-func newFastEngine(limits []cluster.Limit, table *model.Table, sw SweepOptions) *fastEngine {
-	e := &fastEngine{
-		table:    table,
-		jobUnits: table.JobUnits(),
-		limits:   limits,
-		filter:   sw.Filter,
-		noPrune:  sw.NoPrune,
-		pr:       sw.Progress,
-		choices:  make([][]cluster.Group, len(limits)),
-		calcs:    make([][]*model.UnitCalc, len(limits)),
-		byRank:   make([]int, len(limits)),
-		cur:      make([]curSel, len(limits)),
-		gcsBuf:   make([]model.GroupCalc, 0, len(limits)),
+func (e *fastEngine) reset(sp *spaceSoA, sw *SweepOptions, cancel <-chan struct{}) {
+	e.sp = sp
+	e.filter = sw.Filter
+	e.noPrune = sw.NoPrune
+	e.pr = sw.Progress
+	e.cancel = cancel
+	e.stop = false
+	e.sinceCheck = 0
+	e.sel = grow(e.sel, sp.nTypes)
+	for i := range e.sel {
+		e.sel[i] = -1
 	}
-	for i, l := range limits {
-		gs := l.Choices()
-		cs := make([]*model.UnitCalc, len(gs))
-		for j, g := range gs {
-			cs[j] = table.Calc(g)
-		}
-		e.choices[i] = gs
-		e.calcs[i] = cs
-		e.byRank[i] = i
+	if cap(e.gcsBuf) < sp.nTypes {
+		e.gcsBuf = make([]model.GroupCalc, 0, sp.nTypes)
 	}
-	sort.SliceStable(e.byRank, func(a, b int) bool {
-		return limits[e.byRank[a]].Type.Name < limits[e.byRank[b]].Type.Name
-	})
+	e.survivors = e.survivors[:0]
+	e.batch = e.batch[:0]
+	e.sels = e.sels[:0]
+	e.runT = e.runT[:0]
+	e.runE = e.runE[:0]
+	e.nEvaluated, e.nSkipped, e.nFiltered, e.nPruned = 0, 0, 0, 0
+}
 
-	n := len(limits)
-	e.maxRateSuffix = make([]float64, n+1)
-	e.minEPUSuffix = make([]float64, n+1)
-	e.suffixSpace = make([]int64, n+1)
-	e.minEPUSuffix[n] = math.Inf(1)
-	e.suffixSpace[n] = 1
-	for i := n - 1; i >= 0; i-- {
-		maxRate := 0.0
-		minEPU := math.Inf(1)
-		for j, uc := range e.calcs[i] {
-			if !uc.Supported {
-				continue
-			}
-			if r := uc.NodeRate * float64(e.choices[i][j].Count); r > maxRate {
-				maxRate = r
-			}
-			if uc.EnergyPerUnit < minEPU {
-				minEPU = uc.EnergyPerUnit
-			}
-		}
-		e.maxRateSuffix[i] = e.maxRateSuffix[i+1] + maxRate
-		e.minEPUSuffix[i] = e.minEPUSuffix[i+1]
-		if minEPU < e.minEPUSuffix[i] {
-			e.minEPUSuffix[i] = minEPU
-		}
-		e.suffixSpace[i] = e.suffixSpace[i+1] * int64(1+len(e.choices[i]))
+// release drops references into caller-owned state so pooled scratch
+// does not pin filters, progress reporters or the space across sweeps.
+func (e *fastEngine) release() {
+	e.sp = nil
+	e.filter = nil
+	e.pr = nil
+	e.cancel = nil
+}
+
+// noteProgress batches the cancellation poll over n newly accounted
+// configurations.
+func (e *fastEngine) noteProgress(n int64) {
+	if e.cancel == nil {
+		return
 	}
-	return e
+	e.sinceCheck += n
+	if e.sinceCheck < cancelCheckEvery {
+		return
+	}
+	e.sinceCheck = 0
+	select {
+	case <-e.cancel:
+		e.stop = true
+	default:
+	}
 }
 
 // covered reports whether some running-frontier point is at least as
@@ -180,136 +328,262 @@ func (e *fastEngine) pruneBound(i int, partialRate, partialMinEPU float64) bool 
 	if len(e.runT) == 0 {
 		return false
 	}
-	ub := partialRate + e.maxRateSuffix[i]
+	ub := partialRate + e.sp.maxRateSuffix[i]
 	if !(ub > 0) {
 		return false
 	}
-	tLB := e.jobUnits / ub * (1 - boundSlack)
+	tLB := e.sp.jobUnits / ub * (1 - boundSlack)
 	mEPU := partialMinEPU
-	if s := e.minEPUSuffix[i]; s < mEPU {
+	if s := e.sp.minEPUSuffix[i]; s < mEPU {
 		mEPU = s
 	}
 	if math.IsInf(mEPU, 1) {
 		return false
 	}
-	eLB := e.jobUnits * mEPU * (1 - boundSlack)
+	eLB := e.sp.jobUnits * mEPU * (1 - boundSlack)
 	return e.covered(tLB, eLB)
 }
 
+// runTasks executes the top-level tasks [lo, hi): task 0 skips the
+// first type (as Enumerate does first), task t >= 1 fixes the first
+// type to its choice t-1. The bodies replicate rec's level-0 loop
+// statement for statement, so a single chunk spanning every task is
+// exactly the serial sweep.
+func (e *fastEngine) runTasks(lo, hi int) {
+	sp := e.sp
+	for t := lo; t < hi; t++ {
+		if e.stop {
+			return
+		}
+		if t == 0 {
+			e.rec(1, 0, 0, math.Inf(1))
+			continue
+		}
+		j := sp.typeOff[0] + int32(t-1)
+		if !sp.sup[j] && e.filter == nil {
+			// Every completion fails evaluation on the missing demand
+			// vector; account the whole subtree as skipped. (With a
+			// Filter installed the walk must continue so filtered
+			// configurations are counted as filtered, as on the
+			// reference path.)
+			n := sp.suffixSpace[1]
+			e.nSkipped += n
+			e.pr.Add(n)
+			e.noteProgress(n)
+			continue
+		}
+		e.sel[0] = j
+		mEPU := math.Inf(1)
+		if v := sp.epu[j]; v < mEPU {
+			mEPU = v
+		}
+		e.rec(1, 1, sp.rate[j], mEPU)
+		e.sel[0] = -1
+	}
+}
+
 func (e *fastEngine) rec(i, depth int, partialRate, partialMinEPU float64) {
-	if i == len(e.limits) {
+	if e.stop {
+		return
+	}
+	sp := e.sp
+	if i == sp.nTypes {
 		if depth > 0 {
 			e.leaf()
 		}
 		return
 	}
 	if !e.noPrune && e.pruneBound(i, partialRate, partialMinEPU) {
-		n := e.suffixSpace[i]
+		n := sp.suffixSpace[i]
 		if depth == 0 {
 			n-- // the all-skip completion is not a configuration
 		}
 		if n > 0 {
 			e.nPruned += n
 			e.pr.Add(n)
+			e.noteProgress(n)
 		}
 		return
 	}
 	// Skip this type, as Enumerate does first.
 	e.rec(i+1, depth, partialRate, partialMinEPU)
-	for j, g := range e.choices[i] {
-		uc := e.calcs[i][j]
-		if !uc.Supported && e.filter == nil {
-			// Every completion fails evaluation on the missing demand
-			// vector; account the whole subtree as skipped. (With a
-			// Filter installed the walk must continue so filtered
-			// configurations are counted as filtered, as on the
-			// reference path.)
-			n := e.suffixSpace[i+1]
+	for j := sp.typeOff[i]; j < sp.typeOff[i+1]; j++ {
+		if e.stop {
+			return
+		}
+		if !sp.sup[j] && e.filter == nil {
+			n := sp.suffixSpace[i+1]
 			e.nSkipped += n
 			e.pr.Add(n)
+			e.noteProgress(n)
 			continue
 		}
-		e.cur[i] = curSel{on: true, g: g, uc: uc}
-		rate := partialRate + uc.NodeRate*float64(g.Count)
+		e.sel[i] = j
+		rate := partialRate + sp.rate[j]
 		mEPU := partialMinEPU
-		if uc.Supported && uc.EnergyPerUnit < mEPU {
-			mEPU = uc.EnergyPerUnit
+		if v := sp.epu[j]; v < mEPU {
+			mEPU = v
 		}
 		e.rec(i+1, depth+1, rate, mEPU)
-		e.cur[i].on = false
+		e.sel[i] = -1
 	}
 }
 
-func (e *fastEngine) buildConfig() cluster.Config {
-	groups := make([]cluster.Group, 0, len(e.limits))
-	for _, ti := range e.byRank {
-		if e.cur[ti].on {
-			groups = append(groups, e.cur[ti].g)
+// curConfig materializes the DFS's current selection as a canonical
+// Config (groups in node-type-name order). Only the Filter path pays
+// this allocation; filters may retain the Config, as on the reference
+// path.
+func (e *fastEngine) curConfig() cluster.Config {
+	sp := e.sp
+	groups := make([]cluster.Group, 0, sp.nTypes)
+	for _, ti := range sp.byRank {
+		if j := e.sel[ti]; j >= 0 {
+			groups = append(groups, sp.groups[j])
 		}
 	}
-	// Groups are pre-validated by enumeration and appended in node-type
-	// name order, so this is already the canonical NewConfig form.
+	return cluster.Config{Groups: groups}
+}
+
+// configAt materializes survivor i's Config from its flat selection
+// block — deferred until the final frontier is known, so dropped
+// survivors never allocate.
+func (e *fastEngine) configAt(i int32) cluster.Config {
+	sp := e.sp
+	base := int(e.survivors[i].sel) * sp.nTypes
+	groups := make([]cluster.Group, 0, sp.nTypes)
+	for _, ti := range sp.byRank {
+		if j := e.sels[base+int(ti)]; j >= 0 {
+			groups = append(groups, sp.groups[j])
+		}
+	}
 	return cluster.Config{Groups: groups}
 }
 
 func (e *fastEngine) leaf() {
+	sp := e.sp
 	gcs := e.gcsBuf[:0]
-	for _, ti := range e.byRank {
-		if e.cur[ti].on {
-			gcs = append(gcs, model.GroupCalc{Calc: e.cur[ti].uc, Count: e.cur[ti].g.Count})
+	for _, ti := range sp.byRank {
+		if j := e.sel[ti]; j >= 0 {
+			gcs = append(gcs, model.GroupCalc{Calc: sp.calcs[j], Count: int(sp.count[j])})
 		}
 	}
 	if e.filter != nil {
-		if !e.filter(e.buildConfig()) {
+		if !e.filter(e.curConfig()) {
 			e.nFiltered++
 			e.pr.Tick()
+			e.noteProgress(1)
 			return
 		}
 	}
-	fr, ok := e.table.EvaluateCalcs(gcs)
+	fr, ok := sp.snap.EvaluateCalcs(gcs)
 	if !ok {
 		e.nSkipped++
 		e.pr.Tick()
+		e.noteProgress(1)
 		return
 	}
 	e.nEvaluated++
 	e.pr.Tick()
+	e.noteProgress(1)
 	if len(e.runT) > 0 && e.covered(float64(fr.Time), float64(fr.Energy)) {
 		return
 	}
-	e.batch = append(e.batch, Point{Config: e.buildConfig(), Time: fr.Time, Energy: fr.Energy})
+	// Record the selection (stride nTypes, -1 = skip). The buffer keeps
+	// blocks of points later folded away — admitted points are a tiny
+	// fraction of the space, so the slack stays in the kilobytes.
+	off := int32(len(e.sels) / sp.nTypes)
+	e.sels = append(e.sels, e.sel...)
+	e.batch = append(e.batch, fastPoint{t: fr.Time, e: fr.Energy, sel: off})
 	if len(e.batch) >= fastFoldChunk {
 		e.fold()
 	}
 }
 
+// fold merges the pending batch into the survivors and re-compacts
+// them with plainFrontier's exact semantics (no noise epsilon, input
+// order and duplicates preserved), in place on pooled buffers.
 func (e *fastEngine) fold() {
 	if len(e.batch) == 0 {
 		return
 	}
-	e.survivors = plainFrontier(append(e.survivors, e.batch...))
+	e.survivors = append(e.survivors, e.batch...)
 	e.batch = e.batch[:0]
+	pts := e.survivors
+	idx := grow(e.foldIdx, len(pts))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.t != pb.t {
+			return pa.t < pb.t
+		}
+		return pa.e < pb.e
+	})
+	keep := grow(e.foldKeep, len(pts))
+	for i := range keep {
+		keep[i] = false
+	}
+	minPrev := math.Inf(1) // min energy over strictly earlier time classes
+	i := 0
+	for i < len(idx) {
+		j := i
+		classMin := math.Inf(1)
+		for j < len(idx) && pts[idx[j]].t == pts[idx[i]].t {
+			if en := float64(pts[idx[j]].e); en < classMin {
+				classMin = en
+			}
+			j++
+		}
+		for k := i; k < j; k++ {
+			en := float64(pts[idx[k]].e)
+			// Dominated by an earlier (strictly faster) class, or by a
+			// strictly cheaper same-time point.
+			if minPrev <= en || en > classMin {
+				continue
+			}
+			keep[idx[k]] = true
+		}
+		if classMin < minPrev {
+			minPrev = classMin
+		}
+		i = j
+	}
+	e.foldIdx = idx
+	e.foldKeep = keep
+	kept := pts[:0]
+	for k := range pts {
+		if keep[k] {
+			kept = append(kept, pts[k])
+		}
+	}
+	e.survivors = kept
+
+	// Rebuild the compacted domination arrays. Survivors are mutually
+	// non-dominated, so same-time survivors have equal energy and any
+	// representative works.
 	e.runT = e.runT[:0]
 	e.runE = e.runE[:0]
-	type te struct{ t, en float64 }
-	pts := make([]te, len(e.survivors))
-	for i, p := range e.survivors {
-		pts[i] = te{float64(p.Time), float64(p.Energy)}
+	idx = idx[:len(kept)]
+	for i := range idx {
+		idx[i] = int32(i)
 	}
-	sort.Slice(pts, func(a, b int) bool { return pts[a].t < pts[b].t })
-	for _, p := range pts {
-		if n := len(e.runT); n > 0 && e.runT[n-1] == p.t {
+	sort.Slice(idx, func(a, b int) bool { return kept[idx[a]].t < kept[idx[b]].t })
+	for _, ii := range idx {
+		t := float64(kept[ii].t)
+		if n := len(e.runT); n > 0 && e.runT[n-1] == t {
 			continue // same time class, equal energy by non-domination
 		}
-		e.runT = append(e.runT, p.t)
-		e.runE = append(e.runE, p.en)
+		e.runT = append(e.runT, t)
+		e.runE = append(e.runE, float64(kept[ii].e))
 	}
 }
 
 // plainFrontier keeps every point not strictly dominated by another
 // (no noise epsilon), preserving input order and exact duplicates. It
-// is the compaction step of the fast sweep: the final epsilon-aware
-// Frontier runs once over its output.
+// is the compaction step of the fast sweep (fold inlines the same
+// scan over fastPoints); the final epsilon-aware Frontier semantics
+// run once over its output.
 func plainFrontier(pts []Point) []Point {
 	if len(pts) == 0 {
 		return nil
@@ -360,10 +634,113 @@ func plainFrontier(pts []Point) []Point {
 	return out
 }
 
+// mergeRef addresses one survivor: chunk engine index plus its
+// position in that engine's (enumeration-ordered) survivor slice.
+type mergeRef struct {
+	chunk int32
+	idx   int32
+}
+
+// sweepScratch is the pooled per-sweep state: the columnar space, the
+// per-chunk engines (whose buffers persist across sweeps), the task
+// chunk bounds, and the merge reference buffer. Steady-state sweeps
+// reuse all of it, keeping allocations near zero.
+type sweepScratch struct {
+	sp      spaceSoA
+	engines []fastEngine
+	bounds  []int32
+	refs    []mergeRef
+}
+
+var sweepScratchPool = sync.Pool{New: func() any { return new(sweepScratch) }}
+
+// apportionTasks splits nTasks into nChunks contiguous ranges by
+// largest-remainder rounding of the equal quota nTasks/nChunks (equal
+// remainders tie-break by chunk index, so the first nTasks%nChunks
+// chunks take the extra task). Every top-level task spans an equal
+// slice of the configuration space, so equal task counts are
+// weight-balanced. Returns bounds with len nChunks+1.
+func apportionTasks(nTasks, nChunks int, bounds []int32) []int32 {
+	base, rem := nTasks/nChunks, nTasks%nChunks
+	bounds = append(bounds[:0], 0)
+	for c := 0; c < nChunks; c++ {
+		sz := base
+		if c < rem {
+			sz++
+		}
+		bounds = append(bounds, bounds[c]+int32(sz))
+	}
+	return bounds
+}
+
+// mergeFrontier folds the per-chunk partial frontiers into the final
+// frontier with Frontier's exact semantics — stable sort by (time,
+// energy) over the chunk-order concatenation, lowest-energy (first on
+// ties) representative per time class, 1e-9 relative energy-improvement
+// admission — materializing Configs and Results only for the points
+// that make the cut.
+func mergeFrontier(engines []fastEngine, sc *sweepScratch, table *model.Table) []Point {
+	total := 0
+	for c := range engines {
+		total += len(engines[c].survivors)
+	}
+	if total == 0 {
+		return nil
+	}
+	refs := grow(sc.refs, total)
+	k := 0
+	for c := range engines {
+		for i := range engines[c].survivors {
+			refs[k] = mergeRef{chunk: int32(c), idx: int32(i)}
+			k++
+		}
+	}
+	at := func(r mergeRef) fastPoint { return engines[r.chunk].survivors[r.idx] }
+	sort.SliceStable(refs, func(a, b int) bool {
+		pa, pb := at(refs[a]), at(refs[b])
+		if pa.t != pb.t {
+			return pa.t < pb.t
+		}
+		return pa.e < pb.e
+	})
+	sc.refs = refs
+
+	var out []Point
+	bestEnergy := units.Joules(0)
+	i := 0
+	for i < len(refs) {
+		j := i
+		rep := i
+		for j < len(refs) && at(refs[j]).t == at(refs[i]).t {
+			if at(refs[j]).e < at(refs[rep]).e {
+				rep = j
+			}
+			j++
+		}
+		p := at(refs[rep])
+		admit := len(out) == 0 ||
+			float64(p.e) < float64(bestEnergy)*(1-1e-9)
+		if admit {
+			r := refs[rep]
+			cfg := engines[r.chunk].configAt(r.idx)
+			pt := Point{Config: cfg, Time: p.t, Energy: p.e}
+			if res, err := table.Materialize(cfg); err == nil {
+				pt.Result = res
+			}
+			out = append(out, pt)
+			bestEnergy = p.e
+		}
+		i = j
+	}
+	return out
+}
+
 // frontierSweepFast is the memoized closed-form sweep behind
 // FrontierSweep: identical results to the reference path, orders of
-// magnitude faster. Single-threaded by design — the per-configuration
-// cost is tens of nanoseconds, far below fan-out overhead.
+// magnitude faster, and parallel across SweepOptions.Workers — the
+// top-level choice loop is partitioned into per-worker chunks whose
+// private partial frontiers merge into the exact serial output (see
+// the parallel exactness argument at the top of this file).
 func frontierSweepFast(limits []cluster.Limit, wl *workload.Profile, opt model.Options, sw SweepOptions) ([]Point, error) {
 	span := telemetry.StartSpan("pareto.frontier_sweep").
 		Arg("workload", wl.Name).Arg("engine", "fast")
@@ -387,30 +764,107 @@ func frontierSweepFast(limits []cluster.Limit, wl *workload.Profile, opt model.O
 			skipped.Add(uint64(n))
 			sw.Progress.Add(n)
 		}
+		if sw.Stats != nil {
+			*sw.Stats = SweepStats{Skipped: n}
+		}
 		sw.Progress.Done()
 		return nil, nil
 	}
 
-	table := model.NewTable(wl, opt)
-	e := newFastEngine(limits, table, sw)
-	e.rec(0, 0, 0, math.Inf(1))
-	e.fold()
-
-	out := Frontier(e.survivors)
-	for i := range out {
-		if res, err := table.Materialize(out[i].Config); err == nil {
-			out[i].Result = res
-		}
+	table := sw.Table
+	if table == nil {
+		table = model.NewTable(wl, opt)
+	} else if !table.Matches(wl, opt) {
+		return nil, fmt.Errorf("pareto: SweepOptions.Table was built for a different workload or options")
 	}
 
-	evaluated.Add(uint64(e.nEvaluated))
-	skipped.Add(uint64(e.nSkipped))
-	filtered.Add(uint64(e.nFiltered))
-	pruned.Add(uint64(e.nPruned))
-	sw.Request.Add(telemetry.AttrConfigsEvaluated, e.nEvaluated)
-	sw.Request.Add(telemetry.AttrConfigsFiltered, e.nFiltered)
-	sw.Request.Add(telemetry.AttrConfigsPruned, e.nPruned)
-	span.Arg("evaluated", e.nEvaluated).Arg("pruned", e.nPruned)
+	workers := sw.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ctx := sw.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	sc := sweepScratchPool.Get().(*sweepScratch)
+	defer sweepScratchPool.Put(sc)
+	defer func() { sc.sp.snap = nil }()
+
+	sp := &sc.sp
+	sp.build(limits, table)
+	if sp.nTypes == 0 {
+		if sw.Stats != nil {
+			*sw.Stats = SweepStats{}
+		}
+		sw.Progress.Done()
+		return nil, nil
+	}
+
+	// One task per top-level decision: skip the first type, or fix it
+	// to one of its choices. Chunks are contiguous task ranges, one
+	// per worker (fewer when tasks run out).
+	nTasks := 1 + int(sp.typeOff[1]-sp.typeOff[0])
+	nChunks := workers
+	if nChunks > nTasks {
+		nChunks = nTasks
+	}
+	sc.bounds = apportionTasks(nTasks, nChunks, sc.bounds)
+
+	if cap(sc.engines) < nChunks {
+		engines := make([]fastEngine, nChunks)
+		copy(engines, sc.engines) // carry over the old engines' buffers
+		sc.engines = engines
+	} else {
+		sc.engines = sc.engines[:nChunks]
+	}
+	engines := sc.engines
+	cancel := ctx.Done()
+	for c := range engines {
+		engines[c].reset(sp, &sw, cancel)
+	}
+	defer func() {
+		for c := range engines {
+			engines[c].release()
+		}
+	}()
+
+	span.Arg("workers", workers).Arg("chunks", nChunks)
+	derr := sweep.BlocksContext(ctx, nChunks, workers, 1, func(_, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			engines[c].runTasks(int(sc.bounds[c]), int(sc.bounds[c+1]))
+			engines[c].fold()
+		}
+	})
+	if derr == nil {
+		// A worker may have latched stop mid-chunk after the last
+		// dispatch; the accounting would be incomplete.
+		derr = ctx.Err()
+	}
+	if derr != nil {
+		return nil, derr
+	}
+
+	var st SweepStats
+	for c := range engines {
+		st.Evaluated += engines[c].nEvaluated
+		st.Skipped += engines[c].nSkipped
+		st.Filtered += engines[c].nFiltered
+		st.Pruned += engines[c].nPruned
+	}
+	out := mergeFrontier(engines, sc, table)
+
+	evaluated.Add(uint64(st.Evaluated))
+	skipped.Add(uint64(st.Skipped))
+	filtered.Add(uint64(st.Filtered))
+	pruned.Add(uint64(st.Pruned))
+	sw.Request.Add(telemetry.AttrConfigsEvaluated, st.Evaluated)
+	sw.Request.Add(telemetry.AttrConfigsFiltered, st.Filtered)
+	sw.Request.Add(telemetry.AttrConfigsPruned, st.Pruned)
+	if sw.Stats != nil {
+		*sw.Stats = st
+	}
+	span.Arg("evaluated", st.Evaluated).Arg("pruned", st.Pruned)
 	sw.Progress.Done()
 	return out, nil
 }

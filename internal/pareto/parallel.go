@@ -1,6 +1,7 @@
 package pareto
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -11,9 +12,32 @@ import (
 	"repro/internal/workload"
 )
 
+// SweepStats is one sweep's accounting, filled through
+// SweepOptions.Stats by both the fast and the Reference engines. The
+// four counts always sum to cluster.SpaceSize(limits), for any worker
+// count (the invariant the pareto.configs_* counters obey globally).
+type SweepStats struct {
+	// Evaluated configurations reached the model and produced a result.
+	Evaluated int64
+	// Skipped configurations failed evaluation (missing demand vectors),
+	// individually or as bulk-accounted subtrees.
+	Skipped int64
+	// Filtered configurations were rejected by SweepOptions.Filter
+	// before evaluation.
+	Filtered int64
+	// Pruned configurations were eliminated by bound-based subtree
+	// pruning without being enumerated (always 0 on the Reference path
+	// and with NoPrune set).
+	Pruned int64
+}
+
 // SweepOptions bundles the knobs of a parallel frontier sweep.
 type SweepOptions struct {
-	// Workers is the fan-out width; <= 0 uses GOMAXPROCS.
+	// Workers is the fan-out width; <= 0 uses GOMAXPROCS. Both engines
+	// honor it: the fast path partitions the enumeration tree's
+	// top-level choices into per-worker chunks (output is bitwise
+	// identical for every worker count), the Reference path fans
+	// configuration blocks across the pool.
 	Workers int
 	// Progress, when non-nil, is ticked once per enumerated (evaluated,
 	// skipped or filtered) configuration — the count-based reporter
@@ -40,6 +64,22 @@ type SweepOptions struct {
 	// Request-serving callers set it from telemetry.RequestFrom(ctx);
 	// batch CLIs leave it nil.
 	Request *telemetry.RequestContext
+	// Context, when non-nil, cancels the sweep: workers poll it every
+	// few thousand configurations and between chunks. A cancelled sweep
+	// returns the context's error with no partial frontier and flushes
+	// nothing into the global counters or Stats.
+	Context context.Context
+	// Table, when non-nil, is a pre-built unit-calc table the sweep
+	// uses instead of building its own. It must have been built by
+	// model.NewTable for exactly this sweep's workload pointer and
+	// options (checked; mismatch is an error). Serving callers use it
+	// to amortize table construction and memo warm-up across repeated
+	// sweeps of the same workload. Fast path only; Reference sweeps
+	// evaluate through model.Evaluate and take no table.
+	Table *model.Table
+	// Stats, when non-nil, receives this sweep's own accounting —
+	// per-call counts beside the process-global pareto.* counters.
+	Stats *SweepStats
 }
 
 // sweepInstruments caches the registry lookups a sweep needs, so the
@@ -159,20 +199,24 @@ func evaluateParallel(configs []cluster.Config, wl *workload.Profile, opt model.
 	return out
 }
 
-// FrontierForParallel is FrontierFor through the sweep engine. The
-// name predates the memoized fast path, which is single-threaded (its
-// per-configuration cost sits far below fan-out overhead); workers now
-// only matter for SweepOptions.Reference sweeps.
+// FrontierForParallel is FrontierFor through the sweep engine.
+//
+// Deprecated: call FrontierSweep with SweepOptions{Workers: workers}
+// directly — both the memoized fast engine and the Reference sweep
+// honor Workers now, and FrontierSweep exposes the rest of the knobs
+// (Filter, Context, Stats, shared Table).
 func FrontierForParallel(limits []cluster.Limit, wl *workload.Profile, opt model.Options, workers int) ([]Point, error) {
 	return FrontierSweep(limits, wl, opt, SweepOptions{Workers: workers})
 }
 
 // FrontierSweep is the instrumented frontier pipeline. By default it
-// runs the memoized closed-form engine (see fastsweep.go): unit-calc
-// table, allocation-free evaluation, bound-based subtree pruning —
-// with results identical, point for point, to evaluating the full
-// space through model.Evaluate. SweepOptions.Reference selects the
-// preserved chunked-parallel reference sweep instead.
+// runs the memoized closed-form engine (see fastsweep.go): columnar
+// choice space over a snapshotted unit-calc table, allocation-free
+// evaluation, bound-based subtree pruning, and a per-worker partition
+// of the enumeration tree — with results identical, point for point
+// and for every worker count, to evaluating the full space through
+// model.Evaluate. SweepOptions.Reference selects the preserved
+// chunked-parallel reference sweep instead.
 func FrontierSweep(limits []cluster.Limit, wl *workload.Profile, opt model.Options, sw SweepOptions) ([]Point, error) {
 	if !sw.Reference {
 		return frontierSweepFast(limits, wl, opt, sw)
@@ -190,7 +234,12 @@ func frontierSweepReference(limits []cluster.Limit, wl *workload.Profile, opt mo
 	defer span.End()
 	defer sw.Request.Phase("pareto.frontier_sweep")()
 	filtered := telemetry.Global().Counter("pareto.configs_filtered")
+	ctx := sw.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	const chunk = 8192
+	var st SweepStats
 	var frontier []Point
 	batch := make([]cluster.Config, 0, chunk)
 	flush := func() {
@@ -199,6 +248,8 @@ func frontierSweepReference(limits []cluster.Limit, wl *workload.Profile, opt mo
 		}
 		pts := evaluateParallel(batch, wl, opt, sw.Workers, sw.Progress)
 		sw.Request.Add(telemetry.AttrConfigsEvaluated, int64(len(pts)))
+		st.Evaluated += int64(len(pts))
+		st.Skipped += int64(len(batch) - len(pts))
 		frontier = Frontier(append(frontier, pts...))
 		batch = batch[:0]
 	}
@@ -206,19 +257,29 @@ func frontierSweepReference(limits []cluster.Limit, wl *workload.Profile, opt mo
 		if sw.Filter != nil && !sw.Filter(cfg) {
 			filtered.Inc()
 			sw.Request.Add(telemetry.AttrConfigsFiltered, 1)
+			st.Filtered++
 			sw.Progress.Tick()
 			return true
 		}
 		batch = append(batch, cfg)
 		if len(batch) >= chunk {
 			flush()
+			if ctx.Err() != nil {
+				return false // stop enumerating; the error surfaces below
+			}
 		}
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	flush()
+	if sw.Stats != nil {
+		*sw.Stats = st
+	}
 	sw.Progress.Done()
 	return Frontier(frontier), nil
 }

@@ -1,0 +1,223 @@
+package pareto
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// determinismWorkers is the worker ladder every parallel-determinism
+// assertion runs over: serial, small fan-outs, and more workers than
+// top-level tasks exist (so chunk starvation is covered too).
+var determinismWorkers = []int{1, 2, 4, 16}
+
+// frontiersBitIdentical asserts byte-for-byte scalar equality
+// (math.Float64bits, not ==, so even NaN payloads and signed zeros
+// would have to match) plus config identity and identical Results.
+func frontiersBitIdentical(t *testing.T, label string, got, want []Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: frontier size %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Config.Key() != want[i].Config.Key() {
+			t.Fatalf("%s: point %d is %s, want %s", label, i, got[i].Config, want[i].Config)
+		}
+		if math.Float64bits(float64(got[i].Time)) != math.Float64bits(float64(want[i].Time)) ||
+			math.Float64bits(float64(got[i].Energy)) != math.Float64bits(float64(want[i].Energy)) {
+			t.Fatalf("%s: point %d scalars (%v,%v) not bitwise-equal to (%v,%v)",
+				label, i, got[i].Time, got[i].Energy, want[i].Time, want[i].Energy)
+		}
+		if math.Float64bits(float64(got[i].Result.Time)) != math.Float64bits(float64(want[i].Result.Time)) ||
+			math.Float64bits(float64(got[i].Result.Energy)) != math.Float64bits(float64(want[i].Result.Energy)) {
+			t.Fatalf("%s: point %d materialized Result differs bitwise", label, i)
+		}
+	}
+}
+
+// TestFrontierParallelDeterminism: for every paper workload, the fast
+// engine's frontier is bitwise-identical across the whole worker
+// ladder and equal to the Reference sweep — the tentpole guarantee
+// that parallelism never changes a single output bit. The -short form
+// shrinks the space so the race-gated CI run stays fast.
+func TestFrontierParallelDeterminism(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	reg, err := workload.PaperRegistry(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a9, err := cat.Lookup("A9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k10, err := cat.Lookup("K10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxA9, maxK10 := 6, 3
+	if testing.Short() {
+		maxA9, maxK10 = 3, 2
+	}
+	limits := []cluster.Limit{
+		{Type: a9, MaxNodes: maxA9},
+		{Type: k10, MaxNodes: maxK10},
+	}
+
+	for _, name := range workload.PaperNames() {
+		wl, err := reg.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := FrontierSweep(limits, wl, model.Options{}, SweepOptions{Reference: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref) == 0 {
+			t.Fatalf("%s: empty reference frontier", name)
+		}
+		for _, workers := range determinismWorkers {
+			fast, err := FrontierSweep(limits, wl, model.Options{}, SweepOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			frontiersBitIdentical(t, fmt.Sprintf("%s workers=%d vs reference", name, workers), fast, ref)
+
+			noPrune, err := FrontierSweep(limits, wl, model.Options{},
+				SweepOptions{Workers: workers, NoPrune: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			frontiersBitIdentical(t, fmt.Sprintf("%s workers=%d noprune", name, workers), noPrune, ref)
+		}
+	}
+}
+
+// TestFrontierParallelAccountingInvariant: on randomized spaces, the
+// SpaceSize accounting invariant — evaluated + skipped + filtered +
+// pruned == SpaceSize — holds for every worker count, with and without
+// pruning and with a Filter installed; and the frontier stays
+// bitwise-identical to the serial sweep throughout.
+func TestFrontierParallelAccountingInvariant(t *testing.T) {
+	iterations := 25
+	if testing.Short() {
+		iterations = 8
+	}
+	for iter := 0; iter < iterations; iter++ {
+		rng := stats.NewRNG(0xA5A5A5A5DEADBEEF + uint64(iter))
+		limits, wl := randomSpace(t, rng)
+		space := int64(cluster.SpaceSize(limits))
+
+		var serial []Point
+		for _, workers := range []int{1, 2, 3, 4, 16} {
+			for _, mode := range []struct {
+				label   string
+				noPrune bool
+				filter  func(cluster.Config) bool
+			}{
+				{label: "pruned"},
+				{label: "noprune", noPrune: true},
+				{label: "filtered", filter: func(cfg cluster.Config) bool {
+					return cfg.Nodes()%2 == 0
+				}},
+			} {
+				label := fmt.Sprintf("iter %d workers %d %s (space %d)", iter, workers, mode.label, space)
+				var st SweepStats
+				front, err := FrontierSweep(limits, wl, model.Options{}, SweepOptions{
+					Workers: workers,
+					NoPrune: mode.noPrune,
+					Filter:  mode.filter,
+					Stats:   &st,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sum := st.Evaluated + st.Skipped + st.Filtered + st.Pruned; sum != space {
+					t.Fatalf("%s: evaluated %d + skipped %d + filtered %d + pruned %d = %d != space %d",
+						label, st.Evaluated, st.Skipped, st.Filtered, st.Pruned, sum, space)
+				}
+				if mode.noPrune && st.Pruned != 0 {
+					t.Fatalf("%s: NoPrune sweep pruned %d configurations", label, st.Pruned)
+				}
+				if mode.filter == nil && st.Filtered != 0 {
+					t.Fatalf("%s: filterless sweep filtered %d configurations", label, st.Filtered)
+				}
+				if mode.filter == nil {
+					if workers == 1 && !mode.noPrune {
+						serial = front
+					} else if serial != nil {
+						frontiersBitIdentical(t, label+" vs serial", front, serial)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierSweepSharedTable: a caller-provided warm table gives the
+// identical frontier, and a table built for a different workload or
+// options is rejected instead of silently corrupting the sweep.
+func TestFrontierSweepSharedTable(t *testing.T) {
+	limits, wl := sweepSpace(t)
+	want, err := FrontierSweep(limits, wl, model.Options{}, SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	table := model.NewTable(wl, model.Options{})
+	for _, workers := range determinismWorkers {
+		got, err := FrontierSweep(limits, wl, model.Options{},
+			SweepOptions{Workers: workers, Table: table})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frontiersBitIdentical(t, fmt.Sprintf("shared table workers=%d", workers), got, want)
+	}
+
+	cat := hardware.DefaultCatalog()
+	reg, err := workload.PaperRegistry(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := reg.Lookup(workload.NameX264)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FrontierSweep(limits, other, model.Options{},
+		SweepOptions{Table: table}); err == nil {
+		t.Fatal("sweep accepted a table built for a different workload")
+	}
+	if _, err := FrontierSweep(limits, wl, model.Options{MemFrequencyInvariant: true},
+		SweepOptions{Table: table}); err == nil {
+		t.Fatal("sweep accepted a table built for different options")
+	}
+}
+
+// TestFrontierSweepContextCancel: a pre-cancelled context aborts the
+// sweep with the context's error and no partial frontier, on both
+// engines and for every worker count.
+func TestFrontierSweepContextCancel(t *testing.T) {
+	limits, wl := sweepSpace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range determinismWorkers {
+		front, err := FrontierSweep(limits, wl, model.Options{},
+			SweepOptions{Workers: workers, Context: ctx})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if front != nil {
+			t.Fatalf("workers=%d: cancelled sweep returned %d points", workers, len(front))
+		}
+	}
+	if _, err := FrontierSweep(limits, wl, model.Options{},
+		SweepOptions{Reference: true, Context: ctx}); err != context.Canceled {
+		t.Fatalf("reference: err = %v, want context.Canceled", err)
+	}
+}

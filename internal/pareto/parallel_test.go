@@ -50,9 +50,10 @@ func TestEvaluateParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestFrontierForParallelMatchesSequential: the chunked parallel
-// frontier equals the sequential one.
-func TestFrontierForParallelMatchesSequential(t *testing.T) {
+// TestFrontierSweepMatchesSequential: the sweep-engine frontier equals
+// the sequential FrontierFor one (also covering the deprecated
+// FrontierForParallel shim's behavior).
+func TestFrontierSweepMatchesSequential(t *testing.T) {
 	cat := hardware.DefaultCatalog()
 	reg, err := workload.PaperRegistry(cat)
 	if err != nil {
@@ -72,7 +73,7 @@ func TestFrontierForParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := FrontierForParallel(limits, wl, model.Options{}, 4)
+	par, err := FrontierSweep(limits, wl, model.Options{}, SweepOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

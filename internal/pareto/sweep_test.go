@@ -167,13 +167,13 @@ func TestFastSweepAccounting(t *testing.T) {
 // the frontier.
 func TestSweepMatchesUninstrumented(t *testing.T) {
 	limits, wl := sweepSpace(t)
-	plain, err := FrontierForParallel(limits, wl, model.Options{}, 4)
+	plain, err := FrontierSweep(limits, wl, model.Options{}, SweepOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	telemetry.SetGlobal(telemetry.New())
 	defer telemetry.SetGlobal(nil)
-	instrumented, err := FrontierForParallel(limits, wl, model.Options{}, 4)
+	instrumented, err := FrontierSweep(limits, wl, model.Options{}, SweepOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,9 +19,9 @@ import (
 	"repro/internal/pareto"
 	"repro/internal/queueing"
 	"repro/internal/stats"
-	"repro/internal/sweep"
 	"repro/internal/telemetry"
 	"repro/internal/units"
+	"repro/internal/workload"
 )
 
 // maxPercentiles bounds the p= list of one /v1/percentiles request.
@@ -658,11 +658,28 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
-// sweepFrontier enumerates the space, prunes by peak-power budget,
-// evaluates the survivors across the sweep pool under ctx, folds the
-// results into the frontier and sweet region, and — when the params ask
-// for it — annotates every frontier point with its tail latency under
-// the selected kernel.
+// tableFor returns the server's shared memoized unit-calc table for
+// wl, building it on first use. Entries are keyed by the registry's
+// profile pointer — exactly what SweepOptions.Table's identity check
+// requires — and live for the server's lifetime: the memo holds one
+// entry per distinct (type, cores, freq), tens of entries per
+// workload.
+func (s *Server) tableFor(wl *workload.Profile) *model.Table {
+	if t, ok := s.tables.Load(wl); ok {
+		return t.(*model.Table)
+	}
+	t, _ := s.tables.LoadOrStore(wl, model.NewTable(wl, model.Options{}))
+	return t.(*model.Table)
+}
+
+// sweepFrontier runs the memoized parallel frontier engine over the
+// space under ctx — peak-power budget applied as a pre-evaluation
+// filter, per-workload unit-calc table shared across requests, pruning
+// disabled so the explored/evaluated/filtered accounting in the
+// response covers the full space — and folds the results into the
+// frontier and sweet region. When the params ask for it, every
+// frontier point is annotated with its tail latency under the selected
+// kernel.
 func (s *Server) sweepFrontier(ctx context.Context, fp frontierParams, limits []cluster.Limit) (*FrontierResponse, error) {
 	wlName, powerW, deadline, energy := fp.workload, fp.powerW, fp.deadline, fp.energy
 	// On the singleflight leader's request the sweep is attributed to its
@@ -674,64 +691,37 @@ func (s *Server) sweepFrontier(ctx context.Context, fp frontierParams, limits []
 	if err != nil {
 		return nil, err
 	}
-	configs, err := cluster.EnumerateAll(limits)
-	if err != nil {
-		return nil, err
-	}
-	resp := &FrontierResponse{Workload: wlName, Explored: len(configs)}
+	resp := &FrontierResponse{Workload: wlName, Explored: cluster.SpaceSize(limits)}
 
+	var filter func(cluster.Config) bool
 	if powerW > 0 {
-		sw := hardware.DefaultSwitch()
-		kept := configs[:0]
-		for _, cfg := range configs {
-			peak := float64(cfg.NominalPeak()) + float64(sw.Power(cfg.Count("A9")))
-			if peak <= powerW {
-				kept = append(kept, cfg)
-			}
+		swt := hardware.DefaultSwitch()
+		filter = func(cfg cluster.Config) bool {
+			peak := float64(cfg.NominalPeak()) + float64(swt.Power(cfg.Count("A9")))
+			return peak <= powerW
 		}
-		resp.Filtered = len(configs) - len(kept)
-		rc.Add(telemetry.AttrConfigsFiltered, int64(resp.Filtered))
-		configs = kept
 	}
 
-	// The memoized table makes per-configuration evaluation an
-	// allocation-free combination of unit-calc entries (bitwise-equal
-	// to model.Evaluate); the full Result is materialized only for
-	// frontier survivors below. Value slots with an ok bit keep the
-	// fan-out lock-free without a heap Point per configuration.
-	table := model.NewTable(wl, model.Options{})
-	type slot struct {
-		p  pareto.Point
-		ok bool
-	}
-	points := make([]slot, len(configs))
-	err = sweep.BlocksContext(ctx, len(configs), s.cfg.Workers, sweep.DefaultBlock, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			fast, ok := table.EvaluateFast(configs[i])
-			if !ok {
-				continue // workload cannot run on this configuration
-			}
-			points[i] = slot{p: pareto.Point{Config: configs[i], Time: fast.Time, Energy: fast.Energy}, ok: true}
-		}
+	// NoPrune keeps the response accounting exact: every in-budget
+	// configuration is evaluated (or skipped as unsupported), never
+	// bulk-pruned, so Evaluated + Filtered keep their documented API
+	// meaning. The engine attributes configs_evaluated/filtered and the
+	// sweep phase to rc itself.
+	var st pareto.SweepStats
+	frontier, err := pareto.FrontierSweep(limits, wl, model.Options{}, pareto.SweepOptions{
+		Workers: s.cfg.Workers,
+		Filter:  filter,
+		NoPrune: true,
+		Context: ctx,
+		Table:   s.tableFor(wl),
+		Request: rc,
+		Stats:   &st,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: frontier sweep: %w", err)
 	}
-	evaluated := make([]pareto.Point, 0, len(points))
-	for i := range points {
-		if points[i].ok {
-			evaluated = append(evaluated, points[i].p)
-		}
-	}
-	resp.Evaluated = len(evaluated)
-	rc.Add(telemetry.AttrConfigsEvaluated, int64(resp.Evaluated))
-
-	frontier := pareto.Frontier(evaluated)
-	for i := range frontier {
-		if res, err := table.Materialize(frontier[i].Config); err == nil {
-			frontier[i].Result = res
-		}
-	}
+	resp.Filtered = int(st.Filtered)
+	resp.Evaluated = int(st.Evaluated)
 	// Tail-latency annotation: one response-percentile solve per frontier
 	// point (not per explored configuration — the frontier is small), all
 	// through the shared kernel percentile cache. latFor carries the

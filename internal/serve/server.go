@@ -157,6 +157,13 @@ type Server struct {
 	routes        []string // route labels in registration order
 	build         BuildInfo
 	started       time.Time
+
+	// tables caches one memoized unit-calc table per workload profile
+	// (keyed by the registry's *workload.Profile pointer) so repeated
+	// frontier sweeps share a warm memo instead of rebuilding it. A
+	// Table only ever grows monotonically under its own lock, so
+	// concurrent sweeps may share an entry freely.
+	tables sync.Map
 }
 
 // New builds a Server from cfg (see Config for defaults).

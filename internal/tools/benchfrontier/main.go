@@ -3,9 +3,12 @@
 // per-benchmark ns/op, B/op, allocs/op and the configs/s throughput
 // metric the sweep benchmarks report, plus the derived headline
 // speedups of the memoized engine over the preserved per-config
-// reference sweep. Invoked by `make bench-frontier`; reads the
-// benchmark output on stdin (or a file argument) and writes JSON to
-// stdout.
+// reference sweep and the parallel worker-ladder scaling of
+// BenchmarkFrontierSweepParallel. The GOMAXPROCS the benchmarks ran
+// under (go test's -N name suffix; absent means 1) is recorded so the
+// ladder can be judged against the core count that produced it.
+// Invoked by `make bench-frontier`; reads the benchmark output on
+// stdin (or a file argument) and writes JSON to stdout.
 //
 // Unlike benchjson's, the line regex here must accept a custom metric
 // between ns/op and B/op — the testing package prints ReportMetric
@@ -25,10 +28,15 @@ import (
 )
 
 // benchLine matches one result row, with the optional configs/s custom
-// metric the sweep benchmarks emit via b.ReportMetric.
+// metric the sweep benchmarks emit via b.ReportMetric. The first -\d+
+// group is go test's GOMAXPROCS suffix (omitted when it is 1).
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op` +
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op` +
 		`(?:\s+([\d.eE+-]+) configs/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// ladderName extracts the worker count from the parallel ladder's
+// sub-benchmark names.
+var ladderName = regexp.MustCompile(`^BenchmarkFrontierSweepParallel/workers=(\d+)$`)
 
 type result struct {
 	Name          string  `json:"name"`
@@ -39,39 +47,91 @@ type result struct {
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 }
 
+type ladderRung struct {
+	Workers         int     `json:"workers"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	ConfigsPerSec   float64 `json:"configs_per_sec,omitempty"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
 type summary struct {
+	// GoMaxProcs is the scheduler width the benchmarks ran under; the
+	// parallel ladder cannot scale past it, so rungs above it measure
+	// oversubscription overhead, not speedup.
+	GoMaxProcs int `json:"gomaxprocs"`
 	// Speedups pit the preserved per-configuration reference sweep
 	// (one model.Evaluate per point) against the memoized engine.
 	Speedups map[string]float64 `json:"speedups"`
-	Results  []result           `json:"results"`
+	// WorkerLadder is BenchmarkFrontierSweepParallel normalized to its
+	// own workers=1 rung.
+	WorkerLadder []ladderRung `json:"worker_ladder,omitempty"`
+	Results      []result     `json:"results"`
 }
 
-func parse(r io.Reader) ([]result, error) {
+func parse(r io.Reader) ([]result, int, error) {
 	var out []result
+	gomaxprocs := 1
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, err := strconv.ParseFloat(m[3], 64)
+		if m[2] != "" {
+			if n, err := strconv.Atoi(m[2]); err == nil && n > gomaxprocs {
+				gomaxprocs = n
+			}
+		}
+		iters, _ := strconv.ParseInt(m[3], 10, 64)
+		ns, err := strconv.ParseFloat(m[4], 64)
 		if err != nil {
-			return nil, fmt.Errorf("benchfrontier: bad ns/op in %q: %w", sc.Text(), err)
+			return nil, 0, fmt.Errorf("benchfrontier: bad ns/op in %q: %w", sc.Text(), err)
 		}
 		res := result{Name: m[1], Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			res.ConfigsPerSec, _ = strconv.ParseFloat(m[4], 64)
-		}
 		if m[5] != "" {
-			res.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			res.ConfigsPerSec, _ = strconv.ParseFloat(m[5], 64)
 		}
 		if m[6] != "" {
-			res.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+			res.BytesPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		if m[7] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[7], 10, 64)
 		}
 		out = append(out, res)
 	}
-	return out, sc.Err()
+	return out, gomaxprocs, sc.Err()
+}
+
+// round2 keeps headline ratios at two significant decimals.
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func ladder(results []result) []ladderRung {
+	var rungs []ladderRung
+	for _, r := range results {
+		m := ladderName.FindStringSubmatch(r.Name)
+		if m == nil {
+			continue
+		}
+		w, _ := strconv.Atoi(m[1])
+		rungs = append(rungs, ladderRung{
+			Workers:       w,
+			NsPerOp:       r.NsPerOp,
+			ConfigsPerSec: r.ConfigsPerSec,
+		})
+	}
+	sort.Slice(rungs, func(i, j int) bool { return rungs[i].Workers < rungs[j].Workers })
+	var serial float64
+	for _, r := range rungs {
+		if r.Workers == 1 {
+			serial = r.NsPerOp
+		}
+	}
+	for i := range rungs {
+		if serial > 0 && rungs[i].NsPerOp > 0 {
+			rungs[i].SpeedupVsSerial = round2(serial / rungs[i].NsPerOp)
+		}
+	}
+	return rungs
 }
 
 func main() {
@@ -85,7 +145,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	results, err := parse(in)
+	results, gomaxprocs, err := parse(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchfrontier:", err)
 		os.Exit(1)
@@ -110,19 +170,25 @@ func main() {
 	speedups := map[string]float64{}
 	for out, pair := range map[string][2]string{
 		"frontier_sweep":         {"BenchmarkFrontierSweepReference", "BenchmarkFrontierSweepFast"},
+		"frontier_sweep_warm":    {"BenchmarkFrontierSweepReference", "BenchmarkFrontierSweepFastWarm"},
 		"frontier_sweep_noprune": {"BenchmarkFrontierSweepReference", "BenchmarkFrontierSweepFastNoPrune"},
 		"evaluate":               {"BenchmarkEvaluateReference", "BenchmarkEvaluateFast"},
 	} {
 		if v, ok := ratio(pair[0], pair[1]); ok {
-			// Two significant digits: headline ratios, not benchstat.
-			speedups[out] = float64(int64(v*100+0.5)) / 100
+			speedups[out] = round2(v)
 		}
 	}
 
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(summary{Speedups: speedups, Results: results}); err != nil {
+	out := summary{
+		GoMaxProcs:   gomaxprocs,
+		Speedups:     speedups,
+		WorkerLadder: ladder(results),
+		Results:      results,
+	}
+	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchfrontier:", err)
 		os.Exit(1)
 	}

@@ -173,8 +173,8 @@ func ProportionalityMetrics(cfg Config, wl *Workload) (Metrics, error) {
 }
 
 // ParetoFrontier sweeps the configuration space under limits with the
-// memoized frontier engine (DESIGN.md §12) and returns the
-// energy-deadline frontier.
+// memoized frontier engine (DESIGN.md §12, parallel across GOMAXPROCS
+// per §16) and returns the energy-deadline frontier.
 func ParetoFrontier(limits []Limit, wl *Workload) ([]ParetoPoint, error) {
 	return pareto.FrontierSweep(limits, wl, model.Options{}, pareto.SweepOptions{})
 }
